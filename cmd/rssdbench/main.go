@@ -1,0 +1,145 @@
+// Command rssdbench regenerates every table and figure of the RSSD paper
+// from the simulated implementation. Run with -exp all (the default) to
+// produce the full evaluation, or select one experiment:
+//
+//	rssdbench -exp fig2       # Figure 2: data retention time
+//	rssdbench -exp table1     # Table 1: defense matrix
+//	rssdbench -exp perf       # claim P1: <1% performance overhead
+//	rssdbench -exp lifetime   # claim P2: write amplification / lifetime
+//	rssdbench -exp recovery   # claim P3: fast post-attack recovery
+//	rssdbench -exp forensics  # claim P4: evidence-chain construction
+//	rssdbench -exp offload    # NVMe-oE offload cost
+//	rssdbench -exp detection  # detection coverage/latency, six variants
+//	rssdbench -exp attacks    # Ransomware 2.0 validation vs. LocalSSD
+//
+// -scale small uses the test-sized configuration for a quick pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, attacks)")
+	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
+	flag.Parse()
+
+	var s experiment.Scale
+	switch *scaleFlag {
+	case "full":
+		s = experiment.FullScale()
+	case "small":
+		s = experiment.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==> %s\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig2", func() error {
+		rows, err := experiment.Fig2Retention(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2 — data retention time (days) on a 512 GiB SSD, 7% OP, 1 TiB remote budget")
+		fmt.Print(experiment.RenderFig2(rows))
+		return nil
+	})
+
+	run("table1", func() error {
+		cells, err := experiment.DefenseMatrix(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table 1 — defense matrix (attack replays; recovery graded none/partial/full)")
+		fmt.Print(experiment.RenderDefenseMatrix(cells))
+		return nil
+	})
+
+	run("perf", func() error {
+		rows, err := experiment.PerfOverhead(s, []string{"hm", "src", "usr", "web"})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Claim P1 — storage performance overhead (trace-paced replay)")
+		fmt.Print(experiment.RenderPerf(rows))
+		return nil
+	})
+
+	run("lifetime", func() error {
+		rows, err := experiment.LifetimeWAF(s, []string{"hm", "src", "usr", "web"})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Claim P2 — write amplification / device lifetime")
+		fmt.Print(experiment.RenderLifetime(rows))
+		return nil
+	})
+
+	run("recovery", func() error {
+		rows, err := experiment.RecoverySpeed(s, []int{20, 40, 80})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Claim P3 — post-attack data recovery speed")
+		fmt.Print(experiment.RenderRecovery(rows))
+		return nil
+	})
+
+	run("forensics", func() error {
+		rows, err := experiment.ForensicsSpeed(s, []int{5000, 20000, 50000})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Claim P4 — trusted evidence chain construction")
+		fmt.Print(experiment.RenderForensics(rows))
+		return nil
+	})
+
+	run("offload", func() error {
+		rows, err := experiment.OffloadCost(s, []string{"hm", "src", "email"})
+		if err != nil {
+			return err
+		}
+		fmt.Println("NVMe-oE offload cost and retention backlog")
+		fmt.Print(experiment.RenderOffload(rows))
+		return nil
+	})
+
+	run("detection", func() error {
+		rows, err := experiment.DetectionLatency(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Offloaded detection — coverage and latency across six attack variants")
+		fmt.Print(experiment.RenderDetection(rows))
+		return nil
+	})
+
+	run("attacks", func() error {
+		rows, err := experiment.AttackValidation(s)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ransomware 2.0 validation — attacks vs. an unprotected LocalSSD")
+		fmt.Print(experiment.RenderValidation(rows))
+		return nil
+	})
+}

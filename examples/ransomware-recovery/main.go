@@ -1,0 +1,114 @@
+// Ransomware recovery, end to end: seed a user corpus, run benign traffic,
+// launch the trimming attack (the one that defeats overwrite-retention
+// defenses), detect it remotely, reconstruct the attack window, and
+// restore every victim page with zero data loss.
+//
+//	go run ./examples/ransomware-recovery
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/detect"
+	"repro/internal/experiment"
+	"repro/internal/forensic"
+	"repro/internal/recovery"
+	"repro/internal/simclock"
+)
+
+func main() {
+	rig, err := experiment.NewRSSDRig(experiment.FullScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rig.Client.Close()
+
+	// Detection runs on the remote server, fed by offloaded segments.
+	engine := detect.NewEngine(detect.DefaultConfig())
+	engine.Attach(rig.Store)
+	engine.OnAlert = func(a detect.Alert) { fmt.Printf("\n*** %s ***\n\n", a) }
+
+	rng := rand.New(rand.NewSource(2024))
+	fmt.Println("Seeding 40 user files + a day of benign traffic...")
+	if _, _, err := attack.Seed(rig.FS, rng, 40, 5); err != nil {
+		log.Fatal(err)
+	}
+	if err := attack.RunBenign(rig.FS, rng, 300, simclock.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot the corpus — contents and physical layout — so we can
+	// grade the restoration afterwards. (A real victim has no snapshot;
+	// recovery needs none. This is purely the example's scorecard.)
+	contents := map[string][]byte{}
+	layout := map[string][]uint64{}
+	for _, name := range rig.FS.List() {
+		data, _ := rig.FS.ReadFile(name)
+		contents[name] = data
+		pages, _ := rig.FS.Extents(name)
+		layout[name] = pages
+	}
+
+	fmt.Println("Launching trimming attack (encrypt to new files, trim the originals)...")
+	rep, err := (&attack.TrimmingAttack{Key: [32]byte{13, 37}}).Run(rig.FS, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+
+	// Flush the log tail so the remote analyst sees the whole history.
+	if _, err := rig.Dev.OffloadNow(rig.FS.Clock().Now()); err != nil {
+		log.Fatal(err)
+	}
+
+	an := forensic.NewAnalyzer(rig.Dev, rig.Client)
+	ev, err := an.Timeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	win, err := an.AttackWindow(ev, rig.Dev.Log().NextSeq())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Forensics: %s\n", win)
+
+	eng := recovery.NewEngine(rig.Dev, rig.Client, recovery.Options{Verify: true})
+	at, rrep, err := eng.RestoreWindow(win, rig.FS.Clock().Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rrep)
+
+	// Grade: every page of every original file holds its plaintext again.
+	ps := rig.Dev.PageSize()
+	restoredFiles := 0
+	for name, want := range contents {
+		ok := true
+		for i, lpn := range layout[name] {
+			got, _, err := rig.Dev.Read(lpn, at)
+			if err != nil {
+				ok = false
+				break
+			}
+			expect := make([]byte, ps)
+			if off := i * ps; off < len(want) {
+				copy(expect, want[off:])
+			}
+			if !bytes.Equal(got, expect) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			restoredFiles++
+		}
+	}
+	fmt.Printf("Files fully restored at block level: %d / %d\n", restoredFiles, len(contents))
+	if rrep.Complete() {
+		fmt.Println("Zero data loss: every victim page verified against the log's content hashes.")
+	}
+}

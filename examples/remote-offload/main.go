@@ -1,0 +1,88 @@
+// Remote offload over real TCP: start an NVMe-oE storage server on
+// localhost backed by an on-disk object store, connect an RSSD to it over
+// a TCP socket, push retention traffic through, then reload the store
+// from disk and verify the evidence chain survived the round trip.
+//
+//	go run ./examples/remote-offload
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+func main() {
+	psk := []byte("remote-offload-psk-0123456789abc")
+	dir := filepath.Join(os.TempDir(), "rssd-remote-offload")
+	os.RemoveAll(dir)
+
+	// Server: DirStore persistence (the Amazon S3 stand-in), TCP listener.
+	blobs, err := remote.NewDirStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := remote.NewStore(blobs)
+	server := remote.NewServer(store, psk)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go server.Serve(ln)
+	fmt.Printf("NVMe-oE storage server listening on %s, blobs in %s\n", ln.Addr(), dir)
+
+	// Device: dial the server over TCP and authenticate with the PSK.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := remote.Dial(conn, psk, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.DeviceID = 77
+	rig := core.New(cfg, client)
+	fs := host.NewFlatFS(rig, simclock.NewClock())
+
+	rng := rand.New(rand.NewSource(99))
+	if _, _, err := attack.Seed(fs, rng, 30, 4); err != nil {
+		log.Fatal(err)
+	}
+	if err := attack.RunBenign(fs, rng, 500, simclock.Minute); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rig.OffloadNow(fs.Clock().Now()); err != nil {
+		log.Fatal(err)
+	}
+
+	st := rig.Stats()
+	rs := store.DeviceStats(77)
+	fmt.Printf("offloaded over TCP: %d segments, %d pages, %d log entries\n",
+		st.OffloadSegments, st.OffloadPages, rs.Entries)
+
+	// Durability: rebuild the index from the on-disk blobs alone and
+	// verify the chain end to end.
+	fresh := remote.NewStore(blobs)
+	if err := fresh.Reload(); err != nil {
+		log.Fatalf("reload from disk failed: %v", err)
+	}
+	h1, h2 := store.Head(77), fresh.Head(77)
+	if h1 != h2 {
+		log.Fatalf("reloaded head %+v != live head %+v", h2, h1)
+	}
+	fmt.Printf("reloaded %d entries from disk; chain head matches (seq %d)\n",
+		fresh.DeviceStats(77).Entries, h2.NextSeq)
+	fmt.Println("evidence chain survives server restarts: blobs are the truth, indexes are cache")
+}

@@ -1,0 +1,250 @@
+package attack
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/entropy"
+	"repro/internal/ftl"
+	"repro/internal/host"
+	"repro/internal/nand"
+	"repro/internal/simclock"
+)
+
+func newFS() (*host.FlatFS, *ftl.FTL) {
+	cfg := ftl.Config{
+		NAND: nand.Config{
+			Geometry: nand.Geometry{
+				Channels: 2, ChipsPerChannel: 2, DiesPerChip: 1, PlanesPerDie: 1,
+				BlocksPerPlane: 32, PagesPerBlock: 8, PageSize: 512,
+			},
+			Timing: nand.DefaultTiming(),
+		},
+		OverProvision: 0.2,
+	}
+	f := ftl.New(cfg, nil)
+	return host.NewFlatFS(f, simclock.NewClock()), f
+}
+
+func seedCorpus(t *testing.T, fs *host.FlatFS, n int) map[string][]byte {
+	t.Helper()
+	_, snap, err := Seed(fs, rand.New(rand.NewSource(1)), n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestUserContentEntropyRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	low := userContent(rng, 4096, 0.0)
+	if e := entropy.Shannon(low); e > 5 {
+		t.Fatalf("text content entropy = %v", e)
+	}
+	high := userContent(rng, 4096, 1.0)
+	if e := entropy.Shannon(high); e < 7.5 {
+		t.Fatalf("random content entropy = %v", e)
+	}
+}
+
+func TestEncryptorEncryptsEverything(t *testing.T) {
+	fs, _ := newFS()
+	snap := seedCorpus(t, fs, 10)
+	enc := &Encryptor{Key: [32]byte{1}}
+	rep, err := enc.Run(fs, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesAttacked != 10 {
+		t.Fatalf("attacked %d files", rep.FilesAttacked)
+	}
+	for name, orig := range snap {
+		got, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, orig) {
+			t.Fatalf("%s not encrypted", name)
+		}
+		if e := entropy.Shannon(got); e < 7.0 {
+			t.Fatalf("%s ciphertext entropy = %v", name, e)
+		}
+	}
+	if _, err := fs.ReadFile("RANSOM_NOTE.txt"); err != nil {
+		t.Fatal("no ransom note dropped")
+	}
+}
+
+func TestEncryptorMaxFiles(t *testing.T) {
+	fs, _ := newFS()
+	seedCorpus(t, fs, 10)
+	enc := &Encryptor{Key: [32]byte{1}, MaxFiles: 3}
+	rep, err := enc.Run(fs, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesAttacked != 3 {
+		t.Fatalf("attacked %d, want 3", rep.FilesAttacked)
+	}
+}
+
+func TestEncryptionIsInvertible(t *testing.T) {
+	key := [32]byte{9, 9, 9}
+	plain := []byte("the original user data that must be restorable")
+	ct := encrypt(key, 7, plain)
+	if bytes.Equal(ct, plain) {
+		t.Fatal("no-op encryption")
+	}
+	if got := encrypt(key, 7, ct); !bytes.Equal(got, plain) {
+		t.Fatal("CTR round trip failed")
+	}
+}
+
+func TestGCAttackForcesGC(t *testing.T) {
+	fs, f := newFS()
+	seedCorpus(t, fs, 8)
+	gcBefore := f.Stats().GCRuns
+	atk := &GCAttack{Key: [32]byte{2}, Rounds: 2}
+	rep, err := atk.Run(fs, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FloodWrites == 0 {
+		t.Fatal("no flood writes")
+	}
+	if f.Stats().GCRuns == gcBefore {
+		t.Fatal("GC attack did not force garbage collection")
+	}
+	// Old stale versions have been destroyed on this unprotected device.
+	if f.Stats().StaleErased == 0 {
+		t.Fatal("GC attack erased no stale data on LocalSSD")
+	}
+}
+
+func TestTimingAttackSpansSimulatedTime(t *testing.T) {
+	fs, _ := newFS()
+	snap := seedCorpus(t, fs, 12)
+	atk := &TimingAttack{
+		Key: [32]byte{3}, FilesPerBurst: 2,
+		BurstInterval: 12 * simclock.Hour, CoverOpsPerOp: 2,
+	}
+	rep, err := atk.Run(fs, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesAttacked != len(snap) {
+		t.Fatalf("attacked %d/%d", rep.FilesAttacked, len(snap))
+	}
+	if span := rep.End.Sub(rep.Start); span < 2*simclock.Day {
+		t.Fatalf("attack span = %v, want multi-day", span)
+	}
+	for name, orig := range snap {
+		got, _ := fs.ReadFile(name)
+		if bytes.Equal(got, orig) {
+			t.Fatalf("%s survived timing attack", name)
+		}
+	}
+}
+
+func TestTrimmingAttackTrimsOriginals(t *testing.T) {
+	fs, f := newFS()
+	snap := seedCorpus(t, fs, 6)
+	atk := &TrimmingAttack{Key: [32]byte{4}}
+	rep, err := atk.Run(fs, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrimsIssued == 0 {
+		t.Fatal("no trims issued")
+	}
+	if f.Stats().Trims == 0 {
+		t.Fatal("device saw no trims")
+	}
+	for name := range snap {
+		if _, err := fs.ReadFile(name); err == nil {
+			t.Fatalf("original %s still present", name)
+		}
+		locked, err := fs.ReadFile(name + ".locked")
+		if err != nil {
+			t.Fatalf("no ciphertext for %s: %v", name, err)
+		}
+		if e := entropy.Shannon(locked); e < 7.0 {
+			t.Fatalf("ciphertext entropy = %v", e)
+		}
+	}
+}
+
+func TestVictimsExcludesAttackArtifacts(t *testing.T) {
+	fs, _ := newFS()
+	seedCorpus(t, fs, 3)
+	fs.Create("RANSOM_NOTE.txt", []byte("x"))
+	fs.Create("a.locked", []byte("x"))
+	fs.Create("flood-0-0", []byte("x"))
+	vs := victims(fs)
+	if len(vs) != 3 {
+		t.Fatalf("victims = %v", vs)
+	}
+	for _, v := range vs {
+		if !strings.HasPrefix(v, "user/") {
+			t.Fatalf("unexpected victim %s", v)
+		}
+	}
+}
+
+func TestCoverTrafficKeepsFSConsistent(t *testing.T) {
+	fs, _ := newFS()
+	seedCorpus(t, fs, 5)
+	if err := RunBenign(fs, rand.New(rand.NewSource(6)), 200, simclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// All remaining files must be readable.
+	for _, name := range fs.List() {
+		if _, err := fs.ReadFile(name); err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+	}
+}
+
+func TestCoverTrafficIsLowEntropy(t *testing.T) {
+	fs, _ := newFS()
+	seedCorpus(t, fs, 5)
+	if err := RunBenign(fs, rand.New(rand.NewSource(7)), 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	var hi, total int
+	for _, name := range fs.List() {
+		data, _ := fs.ReadFile(name)
+		if len(data) == 0 {
+			continue
+		}
+		total++
+		if entropy.IsHigh(entropy.Shannon(data)) {
+			hi++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no files")
+	}
+	if float64(hi)/float64(total) > 0.2 {
+		t.Fatalf("benign corpus is %d/%d high-entropy", hi, total)
+	}
+}
+
+func TestAttackDeterminism(t *testing.T) {
+	run := func() Report {
+		fs, _ := newFS()
+		Seed(fs, rand.New(rand.NewSource(1)), 8, 4)
+		atk := &GCAttack{Key: [32]byte{2}, Rounds: 1}
+		rep, err := atk.Run(fs, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.FilesAttacked != b.FilesAttacked || a.FloodWrites != b.FloodWrites || a.BytesEncrypted != b.BytesEncrypted {
+		t.Fatalf("non-deterministic attack: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,110 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/host"
+	"repro/internal/simclock"
+)
+
+// userContent synthesizes file contents with a controlled fraction of
+// random bytes. highFrac=0 yields repetitive, text-like data (entropy
+// around 3 bits/byte); highFrac=1 yields ciphertext-like data. Typical
+// user corpora in the paper's traces sit in between.
+func userContent(rng *rand.Rand, size int, highFrac float64) []byte {
+	const phrase = "quarterly report figures attached; please review and sign. "
+	out := make([]byte, size)
+	cut := int(float64(size) * highFrac)
+	rng.Read(out[:cut])
+	for i := cut; i < size; i++ {
+		out[i] = phrase[(i-cut)%len(phrase)]
+	}
+	return out
+}
+
+// Seed populates the filesystem with a user corpus: nFiles files of
+// pageSize..maxPages pages with mostly-compressible contents. It returns
+// the created names and a content snapshot for later damage assessment.
+func Seed(fs *host.FlatFS, rng *rand.Rand, nFiles, maxPages int) (names []string, snapshot map[string][]byte, err error) {
+	snapshot = map[string][]byte{}
+	ps := fs.Device().PageSize()
+	if maxPages < 1 {
+		maxPages = 1
+	}
+	for i := 0; i < nFiles; i++ {
+		name := fmt.Sprintf("user/doc-%03d.dat", i)
+		size := (1 + rng.Intn(maxPages)) * ps
+		data := userContent(rng, size, 0.1)
+		if err := fs.Create(name, data); err != nil {
+			return names, snapshot, err
+		}
+		names = append(names, name)
+		snapshot[name] = data
+	}
+	return names, snapshot, nil
+}
+
+// CoverTraffic generates benign background I/O: reads, document edits
+// (low-entropy overwrites), occasional creates and deletes. The timing
+// attack hides behind it; the false-positive experiments measure against
+// it.
+type CoverTraffic struct {
+	// EditFraction is the probability a step writes (vs. reads).
+	EditFraction float64
+	counter      int
+}
+
+// NewCoverTraffic returns a generator that writes with probability edit.
+func NewCoverTraffic(edit float64) *CoverTraffic {
+	return &CoverTraffic{EditFraction: edit}
+}
+
+// Step performs one benign operation against the filesystem.
+func (c *CoverTraffic) Step(fs *host.FlatFS, rng *rand.Rand) error {
+	names := fs.List()
+	if len(names) == 0 || rng.Float64() >= c.EditFraction {
+		if len(names) == 0 {
+			return nil
+		}
+		_, err := fs.ReadFile(names[rng.Intn(len(names))])
+		return err
+	}
+	c.counter++
+	switch rng.Intn(10) {
+	case 0: // create a new small document
+		name := fmt.Sprintf("user/new-%06d.dat", c.counter)
+		data := userContent(rng, fs.Device().PageSize(), 0.05)
+		if err := fs.Create(name, data); err != nil {
+			return nil // full disk is fine for cover traffic
+		}
+		return nil
+	case 1: // delete something the user owns
+		for _, n := range names {
+			if len(n) > 9 && n[:9] == "user/new-" {
+				return fs.Delete(n, rng.Intn(2) == 0)
+			}
+		}
+		return nil
+	default: // edit: low-entropy in-place update
+		name := names[rng.Intn(len(names))]
+		data, err := fs.ReadFile(name)
+		if err != nil || len(data) == 0 {
+			return err
+		}
+		edited := userContent(rng, len(data), 0.08)
+		return fs.Overwrite(name, edited)
+	}
+}
+
+// RunBenign performs n cover-traffic steps separated by think time.
+func RunBenign(fs *host.FlatFS, rng *rand.Rand, n int, think simclock.Duration) error {
+	c := NewCoverTraffic(0.3)
+	for i := 0; i < n; i++ {
+		if err := c.Step(fs, rng); err != nil {
+			return err
+		}
+		fs.Clock().Advance(think)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"math/rand"
+
+	"repro/internal/host"
+)
+
+// Wiper models destructive "ransomware" that never intends to restore:
+// it overwrites victim files with zeroes. Its writes are LOW entropy,
+// which blinds purely entropy-based detectors — the reason the detection
+// ensemble includes a zero-wipe signal. (NotPetya-class malware behaved
+// this way in practice.)
+type Wiper struct{}
+
+// Name implements Attack.
+func (w *Wiper) Name() string { return "wiper" }
+
+// Run implements Attack.
+func (w *Wiper) Run(fs *host.FlatFS, rng *rand.Rand) (Report, error) {
+	rep := Report{Name: w.Name(), Start: fs.Clock().Now()}
+	for _, name := range victims(fs) {
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			return rep, err
+		}
+		if err := fs.Overwrite(name, make([]byte, len(data))); err != nil {
+			return rep, err
+		}
+		rep.FilesAttacked++
+		rep.BytesEncrypted += len(data)
+	}
+	_ = fs.Create("RANSOM_NOTE.txt", []byte("Your files are gone. There was never a key."))
+	rep.End = fs.Clock().Now()
+	return rep, nil
+}
+
+// PartialEncryptor encrypts only the first page of each file — the
+// "fast encryption" mode modern ransomware families use to lock a whole
+// corpus in seconds. Fewer pages are touched, so detectors relying on
+// sheer volume see a much weaker signal.
+type PartialEncryptor struct {
+	Key [32]byte
+}
+
+// Name implements Attack.
+func (p *PartialEncryptor) Name() string { return "partial-encryptor" }
+
+// Run implements Attack.
+func (p *PartialEncryptor) Run(fs *host.FlatFS, rng *rand.Rand) (Report, error) {
+	rep := Report{Name: p.Name(), Start: fs.Clock().Now()}
+	ps := fs.Device().PageSize()
+	for i, name := range victims(fs) {
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			return rep, err
+		}
+		head := len(data)
+		if head > ps {
+			head = ps
+		}
+		mutated := append([]byte(nil), data...)
+		copy(mutated, encrypt(p.Key, uint64(i), data[:head]))
+		if err := fs.Overwrite(name, mutated); err != nil {
+			return rep, err
+		}
+		rep.FilesAttacked++
+		rep.BytesEncrypted += head
+	}
+	_ = fs.Create("RANSOM_NOTE.txt", []byte("Headers encrypted. Fast and fatal."))
+	rep.End = fs.Clock().Now()
+	return rep, nil
+}

@@ -1,0 +1,67 @@
+package attack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/entropy"
+)
+
+func TestWiperZeroesFiles(t *testing.T) {
+	fs, _ := newFS()
+	snap := seedCorpus(t, fs, 8)
+	rep, err := (&Wiper{}).Run(fs, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesAttacked != 8 {
+		t.Fatalf("attacked %d", rep.FilesAttacked)
+	}
+	for name, orig := range snap {
+		got, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, orig) {
+			t.Fatalf("%s survived the wiper", name)
+		}
+		if !bytes.Equal(got, make([]byte, len(got))) {
+			t.Fatalf("%s not zeroed", name)
+		}
+		// The wiper's signature: destruction with LOW entropy.
+		if entropy.IsHigh(entropy.Shannon(got)) {
+			t.Fatal("wiper output is high entropy?")
+		}
+	}
+}
+
+func TestPartialEncryptorTouchesOnlyFirstPage(t *testing.T) {
+	fs, _ := newFS()
+	snap := seedCorpus(t, fs, 8)
+	rep, err := (&PartialEncryptor{Key: [32]byte{7}}).Run(fs, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesAttacked != 8 {
+		t.Fatalf("attacked %d", rep.FilesAttacked)
+	}
+	ps := fs.Device().PageSize()
+	for name, orig := range snap {
+		got, _ := fs.ReadFile(name)
+		head := len(orig)
+		if head > ps {
+			head = ps
+		}
+		if bytes.Equal(got[:head], orig[:head]) {
+			t.Fatalf("%s first page not encrypted", name)
+		}
+		if len(orig) > ps && !bytes.Equal(got[ps:], orig[ps:]) {
+			t.Fatalf("%s tail was modified", name)
+		}
+	}
+	// Bytes encrypted is bounded by one page per file.
+	if rep.BytesEncrypted > 8*ps {
+		t.Fatalf("bytes encrypted = %d", rep.BytesEncrypted)
+	}
+}

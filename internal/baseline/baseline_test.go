@@ -1,0 +1,275 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/simclock"
+)
+
+func smallFTL(ret ftl.Retainer) *ftl.FTL {
+	cfg := ftl.Config{
+		NAND: nand.Config{
+			Geometry: nand.Geometry{
+				Channels: 2, ChipsPerChannel: 1, DiesPerChip: 1, PlanesPerDie: 1,
+				BlocksPerPlane: 16, PagesPerBlock: 4, PageSize: 512,
+			},
+			Timing: nand.DefaultTiming(),
+		},
+		OverProvision: 0.25,
+		GCLowWater:    2,
+		GCHighWater:   3,
+	}
+	return ftl.New(cfg, ret)
+}
+
+func fill(b byte, n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestCapacityRetainerKeepsUpToBudget(t *testing.T) {
+	c := NewCapacity(4)
+	f := smallFTL(c)
+	c.Attach(f)
+	at := simclock.Time(0)
+	// 6 overwrites of lpn 0 -> 6 stale versions, budget 4.
+	for i := 0; i < 7; i++ {
+		at, _ = f.Write(0, fill(byte(i), 512), at)
+		at = at.Add(simclock.Minute)
+	}
+	if got := c.RetainedNow(); got != 4 {
+		t.Fatalf("retained = %d, want 4", got)
+	}
+	if c.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", c.Dropped())
+	}
+	// Versions 0 and 1 destroyed; 2..5 restorable.
+	if c.CanRestore(0, fill(0, 512), at) || c.CanRestore(0, fill(1, 512), at) {
+		t.Fatal("dropped versions still restorable")
+	}
+	for i := 2; i <= 5; i++ {
+		if !c.CanRestore(0, fill(byte(i), 512), at) {
+			t.Fatalf("version %d not restorable", i)
+		}
+	}
+	// Lifetimes were recorded for the drops.
+	if c.Lifetimes().Count() != 2 {
+		t.Fatalf("lifetime samples = %d", c.Lifetimes().Count())
+	}
+}
+
+func TestCapacityRetainerSurvivesGC(t *testing.T) {
+	c := NewCapacity(10)
+	f := smallFTL(c)
+	c.Attach(f)
+	at := simclock.Time(0)
+	// Reach GC steady state first.
+	for i := 0; i < 300; i++ {
+		at, _ = f.Write(uint64(i%5), fill(byte(i), 512), at)
+	}
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("no GC during warmup")
+	}
+	// Pin the victim version, then keep churning gently: the version
+	// stays within budget (10 newest) while GC keeps running.
+	at, _ = f.Write(9, fill(0xAA, 512), at)
+	at, _ = f.Write(9, fill(0xBB, 512), at)
+	gcBefore := f.Stats().GCRuns
+	for i := 0; i < 8; i++ {
+		at, _ = f.Write(uint64(i%4), fill(byte(100+i), 512), at)
+	}
+	if f.Stats().GCRuns == gcBefore {
+		t.Fatal("no GC while the pin was live")
+	}
+	if !c.CanRestore(9, fill(0xAA, 512), at) {
+		t.Fatal("pinned version lost across GC")
+	}
+}
+
+func TestFlashGuardRetainsReadThenOverwrite(t *testing.T) {
+	g := NewFlashGuard(64, simclock.Hour)
+	f := smallFTL(g)
+	g.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(1, fill(1, 512), at)
+	f.Read(1, at) // ransomware reads before encrypting
+	at, _ = f.Write(1, fill(2, 512), at)
+	if !g.CanRestore(1, fill(1, 512), at) {
+		t.Fatal("read-then-overwritten page not retained")
+	}
+}
+
+func TestFlashGuardIgnoresUnreadOverwrite(t *testing.T) {
+	g := NewFlashGuard(64, simclock.Hour)
+	f := smallFTL(g)
+	g.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(1, fill(1, 512), at)
+	at, _ = f.Write(1, fill(2, 512), at) // no read in between
+	if g.RetainedNow() != 0 {
+		t.Fatal("unread overwrite retained")
+	}
+}
+
+func TestFlashGuardIgnoresStaleRead(t *testing.T) {
+	g := NewFlashGuard(64, simclock.Hour)
+	f := smallFTL(g)
+	g.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(1, fill(1, 512), at)
+	f.Read(1, at)
+	at = at.Add(3 * simclock.Hour) // read ages out
+	at, _ = f.Write(1, fill(2, 512), at)
+	if g.RetainedNow() != 0 {
+		t.Fatal("stale read still paired")
+	}
+}
+
+// TestFlashGuardBypassedByTrim is the trimming attack in miniature: the
+// plaintext is read (to build ciphertext elsewhere) and then trimmed, and
+// FlashGuard retains nothing.
+func TestFlashGuardBypassedByTrim(t *testing.T) {
+	g := NewFlashGuard(64, simclock.Hour)
+	f := smallFTL(g)
+	g.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(1, fill(1, 512), at)
+	f.Read(1, at)
+	at, _ = f.Trim(1, at)
+	if g.RetainedNow() != 0 {
+		t.Fatal("FlashGuard should not retain trimmed pages")
+	}
+	if g.CanRestore(1, fill(1, 512), at) {
+		t.Fatal("trimmed data should be unrecoverable under FlashGuard")
+	}
+}
+
+func TestTimeWindowRetainsWithinWindow(t *testing.T) {
+	w := NewTimeWindow(2 * simclock.Day)
+	f := smallFTL(w)
+	w.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(3, fill(7, 512), at)
+	at, _ = f.Write(3, fill(8, 512), at)
+	if !w.CanRestore(3, fill(7, 512), at) {
+		t.Fatal("fresh version not retained")
+	}
+}
+
+// TestTimeWindowExpiry is the timing attack in miniature: wait out the
+// retention window and the old version is gone.
+func TestTimeWindowExpiry(t *testing.T) {
+	w := NewTimeWindow(2 * simclock.Day)
+	f := smallFTL(w)
+	w.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(3, fill(7, 512), at)
+	at, _ = f.Write(3, fill(8, 512), at) // version 7 retained
+	at = at.Add(3 * simclock.Day)        // attacker waits
+	at, _ = f.Write(4, fill(9, 512), at) // any activity triggers expiry
+	at, _ = f.Write(4, fill(10, 512), at)
+	if w.CanRestore(3, fill(7, 512), at) {
+		t.Fatal("version survived beyond the window")
+	}
+	if w.Dropped() == 0 {
+		t.Fatal("no expiry recorded")
+	}
+}
+
+// TestTimeWindowIgnoresTrim: pre-RSSD designs treat trim as a legitimate
+// erase; TimeSSD retains nothing for trimmed pages.
+func TestTimeWindowIgnoresTrim(t *testing.T) {
+	w := NewTimeWindow(2 * simclock.Day)
+	f := smallFTL(w)
+	w.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(3, fill(7, 512), at)
+	at, _ = f.Trim(3, at)
+	if w.RetainedNow() != 0 {
+		t.Fatal("TimeSSD model retained trimmed data")
+	}
+	if w.CanRestore(3, fill(7, 512), at) {
+		t.Fatal("trimmed data restorable under TimeSSD model")
+	}
+}
+
+// TestFlashGuardTimeExpiry: the timing attack's core insight — bounded
+// retention durations can be waited out.
+func TestFlashGuardTimeExpiry(t *testing.T) {
+	g := NewFlashGuard(64, simclock.Hour)
+	f := smallFTL(g)
+	g.Attach(f)
+	at := simclock.Time(0)
+	at, _ = f.Write(1, fill(1, 512), at)
+	f.Read(1, at)
+	at, _ = f.Write(1, fill(2, 512), at) // retained
+	if g.RetainedNow() != 1 {
+		t.Fatal("not retained")
+	}
+	at = at.Add(4 * simclock.Day) // attacker waits out RetainFor (3 days)
+	f.Read(5, at)                 // any activity triggers expiry
+	if g.RetainedNow() != 0 {
+		t.Fatal("FlashGuard pin survived beyond its retention duration")
+	}
+}
+
+func TestProbeMeasuresNaturalLifetime(t *testing.T) {
+	p := NewProbe()
+	f := smallFTL(p)
+	p.Attach(f)
+	at := simclock.Time(0)
+	for i := 0; i < 400; i++ {
+		at, _ = f.Write(uint64(i%4), fill(byte(i), 512), at)
+		at = at.Add(simclock.Second)
+	}
+	if p.Lifetimes().Count() == 0 {
+		t.Fatal("no lifetimes measured despite churn and GC")
+	}
+	if p.RetainedNow() != 0 {
+		t.Fatal("probe must not pin")
+	}
+}
+
+// TestCapacityPressureShedsPins: when pins exhaust the device, Pressure
+// releases the oldest so writes keep flowing (with data loss — which is
+// the point of the comparison with RSSD).
+func TestCapacityPressureShedsPins(t *testing.T) {
+	c := NewCapacity(0) // unlimited budget: only Pressure sheds
+	f := smallFTL(c)
+	c.Attach(f)
+	at := simclock.Time(0)
+	for i := 0; i < 300; i++ {
+		var err error
+		at, err = f.Write(uint64(i%8), fill(byte(i), 512), at)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("pressure never shed pins")
+	}
+}
+
+func TestVersionDataOrdering(t *testing.T) {
+	c := NewCapacity(8)
+	f := smallFTL(c)
+	c.Attach(f)
+	at := simclock.Time(0)
+	for i := 0; i < 4; i++ {
+		at, _ = f.Write(2, fill(byte(10+i), 512), at)
+	}
+	vs := c.VersionData(2, at)
+	if len(vs) != 3 {
+		t.Fatalf("versions = %d, want 3", len(vs))
+	}
+	for i, v := range vs {
+		if v[0] != byte(10+i) {
+			t.Fatalf("version %d = %d, want oldest-first order", i, v[0])
+		}
+	}
+}

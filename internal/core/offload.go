@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nvmeoe"
+	"repro/internal/oplog"
+	"repro/internal/simclock"
+)
+
+// maxEntriesPerSegment bounds the log entries shipped in one segment so a
+// single frame stays well under the transport limit.
+const maxEntriesPerSegment = 4096
+
+// maybeOffload drains retained pages to the remote server when they exceed
+// the high watermark of the local retention budget. The drain is modeled as
+// background work: its flash reads occupy chips (delaying later host I/O on
+// those chips, which is the real contention cost) but the network transfer
+// itself rides the dedicated NVMe-oE engine off the host path.
+func (r *RSSD) maybeOffload(at simclock.Time) (simclock.Time, error) {
+	budget := r.retentionBudget()
+	high := int(r.cfg.OffloadHighWater * float64(budget))
+	if len(r.retained) <= high {
+		return at, nil
+	}
+	low := int(r.cfg.OffloadLowWater * float64(budget))
+	if r.client == nil {
+		if r.cfg.DropWhenOffline {
+			r.dropTo(low)
+			return at, nil
+		}
+		return at, nil // keep accumulating; Pressure will fail eventually
+	}
+	if _, err := r.offloadTo(low, at); err != nil {
+		// A failed offload must not fail host I/O: nothing was released
+		// (zero data loss holds), retention just keeps accumulating and
+		// the next operation retries. Only Pressure escalates further.
+		r.stats.OffloadErrors++
+		r.lastOffloadErr = err
+	}
+	return at, nil
+}
+
+// LastOffloadError returns the most recent background offload failure, or
+// nil. Host tooling polls it the way it would poll a SMART error log.
+func (r *RSSD) LastOffloadError() error { return r.lastOffloadErr }
+
+// OffloadNow synchronously drains every retained page and all pending log
+// entries to the remote server. Administrators run this before planned
+// disconnects; tests use it to establish "everything is remote".
+func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
+	if r.client == nil {
+		return at, ErrNoRemote
+	}
+	n, err := r.offloadTo(0, at)
+	if err != nil {
+		return at, err
+	}
+	_ = n
+	// Ship any remaining log entries even when no pages are left.
+	for r.offloadedUpTo < r.log.NextSeq() {
+		if err := r.shipSegment(nil, at); err != nil {
+			return at, err
+		}
+	}
+	return at, nil
+}
+
+// offloadTo ships segments until at most target retained pages remain
+// locally. It returns the number of pages shipped.
+func (r *RSSD) offloadTo(target int, at simclock.Time) (int, error) {
+	if r.client == nil {
+		return 0, ErrNoRemote
+	}
+	shipped := 0
+	for len(r.retained) > target {
+		batch := r.popRetained(r.cfg.SegmentMaxPages, len(r.retained)-target)
+		if len(batch) == 0 {
+			break
+		}
+		if err := r.shipSegment(batch, at); err != nil {
+			// The batch was not acked: re-pin nothing (we only release
+			// after ack), but put the entries back at the queue head so
+			// a retry ships the same data.
+			r.requeue(batch)
+			return shipped, err
+		}
+		shipped += len(batch)
+	}
+	r.lastOffloadErr = nil
+	return shipped, nil
+}
+
+// popRetained removes up to min(max, want) oldest live retained entries
+// from the offload queue without releasing their pins yet.
+func (r *RSSD) popRetained(max, want int) []*retEntry {
+	if want < max {
+		max = want
+	}
+	var out []*retEntry
+	for r.retHead < len(r.retQueue) && len(out) < max {
+		re := r.retQueue[r.retHead]
+		r.retHead++
+		if re.released {
+			continue
+		}
+		out = append(out, re)
+	}
+	// Compact the consumed prefix occasionally to bound memory.
+	if r.retHead > 4096 && r.retHead*2 > len(r.retQueue) {
+		r.retQueue = append([]*retEntry(nil), r.retQueue[r.retHead:]...)
+		r.retHead = 0
+	}
+	return out
+}
+
+// requeue puts a failed batch back at the head of the offload queue.
+func (r *RSSD) requeue(batch []*retEntry) {
+	if len(batch) == 0 {
+		return
+	}
+	newQueue := make([]*retEntry, 0, len(batch)+len(r.retQueue)-r.retHead)
+	newQueue = append(newQueue, batch...)
+	newQueue = append(newQueue, r.retQueue[r.retHead:]...)
+	r.retQueue = newQueue
+	r.retHead = 0
+}
+
+// shipSegment builds and pushes one segment carrying the given retained
+// pages (may be nil) plus the next run of log entries, then — only after
+// the durability ack — releases the local pins. This "ack before release"
+// ordering is the zero-data-loss invariant.
+func (r *RSSD) shipSegment(batch []*retEntry, at simclock.Time) error {
+	to := r.log.NextSeq()
+	if to > r.offloadedUpTo+maxEntriesPerSegment {
+		to = r.offloadedUpTo + maxEntriesPerSegment
+	}
+	entries := r.log.Entries(r.offloadedUpTo, to)
+	seg := &oplog.Segment{
+		DeviceID: r.cfg.DeviceID,
+		FirstSeq: r.offloadedUpTo,
+		LastSeq:  to,
+	}
+	seg.Entries = entries
+	if len(entries) > 0 {
+		seg.FirstTime = entries[0].At
+		seg.LastTime = entries[len(entries)-1].At
+	}
+	start := at
+	for _, re := range batch {
+		data, _, done, err := r.f.ReadPhysical(re.ppn, at)
+		if err != nil {
+			return fmt.Errorf("core: read retained ppn %d: %w", re.ppn, err)
+		}
+		r.stats.OffloadLatency += done.Sub(start)
+		seg.Pages = append(seg.Pages, oplog.PageRecord{
+			LPN:      re.lpn,
+			WriteSeq: re.writeSeq,
+			StaleSeq: re.staleSeq,
+			Cause:    uint8(re.cause),
+			Hash:     oplog.HashData(data),
+			Data:     data,
+		})
+	}
+	if err := r.client.PushSegment(seg); err != nil {
+		return err
+	}
+	// Durable: release local pins and forget the versions locally.
+	for _, re := range batch {
+		if err := r.f.Release(re.ppn); err == nil {
+			r.stats.ReleasedPins++
+		}
+		re.released = true
+		delete(r.retained, re.ppn)
+		r.removeFromLPNIndex(re)
+		r.stats.OffloadPages++
+		r.stats.OffloadBytes += uint64(r.f.PageSize())
+	}
+	r.stats.OffloadSegments++
+	r.stats.OffloadEntries += uint64(len(entries))
+	r.offloadedUpTo = to
+	r.log.Prune(r.offloadedUpTo)
+	return nil
+}
+
+// dropTo destroys the oldest retained versions without offload. Only the
+// offline degradation path uses it; each drop is recorded because it is
+// exactly the data-loss event RSSD exists to prevent.
+func (r *RSSD) dropTo(target int) {
+	for len(r.retained) > target {
+		re := r.popOldest()
+		if re == nil {
+			return
+		}
+		if err := r.f.Release(re.ppn); err == nil {
+			r.stats.ReleasedPins++
+		}
+		re.released = true
+		delete(r.retained, re.ppn)
+		r.removeFromLPNIndex(re)
+		r.stats.DroppedPages++
+	}
+}
+
+// popOldest pops the oldest live retained entry, or nil.
+func (r *RSSD) popOldest() *retEntry {
+	for r.retHead < len(r.retQueue) {
+		re := r.retQueue[r.retHead]
+		r.retHead++
+		if !re.released {
+			return re
+		}
+	}
+	return nil
+}
+
+// removeFromLPNIndex unlinks a released entry from the per-LPN index.
+func (r *RSSD) removeFromLPNIndex(re *retEntry) {
+	vs := r.retByLPN[re.lpn]
+	for i := range vs {
+		if vs[i] == re {
+			r.retByLPN[re.lpn] = append(vs[:i], vs[i+1:]...)
+			break
+		}
+	}
+	if len(r.retByLPN[re.lpn]) == 0 {
+		delete(r.retByLPN, re.lpn)
+	}
+}
+
+// CheckpointNow ships a mapping snapshot to the remote server and logs it.
+// Recovery uses the newest checkpoint before the attack point to bound how
+// much log it must replay.
+func (r *RSSD) CheckpointNow(at simclock.Time) (simclock.Time, error) {
+	if r.client == nil {
+		return at, nil // checkpoints are only meaningful with a remote
+	}
+	snapshot := r.f.SnapshotL2P()
+	cp := nvmeoe.Checkpoint{L2P: snapshot}
+	e := r.log.Append(oplog.KindCheckpoint, at, 0, 0, 0, 0, oplog.HashData(cp.Marshal()))
+	cp.Seq = e.Seq
+	if err := r.client.PushCheckpoint(&cp); err != nil {
+		return at, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	r.stats.Checkpoints++
+	return at, nil
+}
+
+// OffloadedUpTo reports the log sequence below which everything is durably
+// remote.
+func (r *RSSD) OffloadedUpTo() uint64 { return r.offloadedUpTo }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/oplog"
+	"repro/internal/remote"
+)
+
+// Reopen adopts an existing device image after a power cycle: it scans the
+// flash OOB area, replays the remotely stored operation log to
+// reconstruct the exact logical mapping (including trims, which OOB alone
+// cannot express), re-pins every committed stale version so conservative
+// retention survives the reboot, and resumes the hash chain at the remote
+// head so post-reboot segments splice on without a break.
+//
+// Durability model: state covered by offloaded log entries is recovered
+// exactly. Flash pages whose OOB sequence is beyond the remote head belong
+// to operations whose log entries died in device RAM; Reopen rolls them
+// back (discards them), the same way a journaled filesystem drops an
+// uncommitted tail. A clean shutdown (OffloadNow before power-off) makes
+// the rollback window empty. The hardware RSSD persists its log pages to
+// flash and would recover that tail too; modeling the rollback keeps the
+// chain semantics honest without simulating log-page writes.
+func Reopen(cfg Config, dev *nand.Device, client *remote.Client) (*RSSD, error) {
+	if client == nil {
+		return nil, ErrNoRemote
+	}
+	head, err := client.Head()
+	if err != nil {
+		return nil, fmt.Errorf("core: reopen: fetch head: %w", err)
+	}
+	// Replay the committed operation history.
+	type op struct {
+		seq  uint64
+		kind oplog.Kind
+	}
+	hist := map[uint64][]op{}
+	liveSeq := map[uint64]uint64{}
+	trimmed := map[uint64]bool{}
+	const batch = 4096
+	for from := uint64(0); from < head.NextSeq; from += batch {
+		to := from + batch
+		if to > head.NextSeq {
+			to = head.NextSeq
+		}
+		entries, err := client.FetchEntries(from, to)
+		if err != nil {
+			return nil, fmt.Errorf("core: reopen: fetch entries [%d,%d): %w", from, to, err)
+		}
+		for _, e := range entries {
+			switch e.Kind {
+			case oplog.KindWrite, oplog.KindRecovery:
+				liveSeq[e.LPN] = e.Seq
+				trimmed[e.LPN] = false
+				hist[e.LPN] = append(hist[e.LPN], op{e.Seq, e.Kind})
+			case oplog.KindTrim, oplog.KindRecoveryTrim:
+				trimmed[e.LPN] = true
+				hist[e.LPN] = append(hist[e.LPN], op{e.Seq, e.Kind})
+			}
+		}
+	}
+
+	// Build the device shell (the FTL wires itself to it via Retainer).
+	if cfg.OffloadHighWater <= 0 {
+		cfg.OffloadHighWater = 0.70
+	}
+	if cfg.OffloadLowWater <= 0 || cfg.OffloadLowWater >= cfg.OffloadHighWater {
+		cfg.OffloadLowWater = cfg.OffloadHighWater / 2
+	}
+	if cfg.SegmentMaxPages <= 0 {
+		cfg.SegmentMaxPages = 128
+	}
+	r := &RSSD{
+		cfg:           cfg,
+		log:           oplog.ResumeFrom(head.NextSeq, head.Hash),
+		client:        client,
+		retained:      map[uint64]*retEntry{},
+		retByLPN:      map[uint64][]*retEntry{},
+		offloadedUpTo: head.NextSeq,
+	}
+
+	// Classify every programmed page from its OOB stamp + the replayed
+	// history, remembering retained pages for index reconstruction.
+	type scanned struct {
+		ppn uint64
+		oob nand.OOB
+	}
+	var kept []scanned
+	classify := func(ppn uint64, oob nand.OOB) ftl.Disposition {
+		if oob.Seq >= head.NextSeq {
+			return ftl.DispDiscard // uncommitted tail: rolled back
+		}
+		if ls, ok := liveSeq[oob.LPN]; ok && !trimmed[oob.LPN] && oob.Seq == ls {
+			return ftl.DispLive
+		}
+		kept = append(kept, scanned{ppn, oob})
+		return ftl.DispRetained
+	}
+	f, err := ftl.Recover(cfg.FTL, dev, r, classify)
+	if err != nil {
+		return nil, fmt.Errorf("core: reopen: %w", err)
+	}
+	r.f = f
+
+	// Live write sequences.
+	r.lpnWriteSeq = make([]uint64, f.LogicalPages())
+	for i := range r.lpnWriteSeq {
+		r.lpnWriteSeq[i] = NoSeq
+	}
+	for lpn, ls := range liveSeq {
+		if !trimmed[lpn] && lpn < uint64(len(r.lpnWriteSeq)) {
+			r.lpnWriteSeq[lpn] = ls
+		}
+	}
+
+	// Rebuild the retention index. Each kept page's staleSeq and cause
+	// come from the first mapping-changing operation after its write.
+	for _, s := range kept {
+		re := &retEntry{
+			ppn:      s.ppn,
+			lpn:      s.oob.LPN,
+			writeSeq: s.oob.Seq,
+			staleSeq: s.oob.Seq + 1,
+			cause:    ftl.CauseOverwrite,
+		}
+		ops := hist[s.oob.LPN]
+		i := sort.Search(len(ops), func(i int) bool { return ops[i].seq > s.oob.Seq })
+		if i < len(ops) {
+			re.staleSeq = ops[i].seq
+			if ops[i].kind == oplog.KindTrim || ops[i].kind == oplog.KindRecoveryTrim {
+				re.cause = ftl.CauseTrim
+			}
+		}
+		r.retained[s.ppn] = re
+		r.retByLPN[s.oob.LPN] = append(r.retByLPN[s.oob.LPN], re)
+		r.retQueue = append(r.retQueue, re)
+	}
+	for _, vs := range r.retByLPN {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].writeSeq < vs[j].writeSeq })
+	}
+	sort.Slice(r.retQueue, func(i, j int) bool { return r.retQueue[i].staleSeq < r.retQueue[j].staleSeq })
+	return r, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/oplog"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// reopenEnv builds an env, runs mixed traffic, and returns the shadow of
+// live state plus a version-history oracle.
+type versionOracle struct {
+	// per lpn: ordered (seq, value) of writes; trims recorded as value 0
+	// with trim flag
+	writes map[uint64][]struct {
+		seq  uint64
+		val  byte
+		trim bool
+	}
+	live map[uint64]byte // current expected content (absent = zeroes)
+}
+
+func driveTraffic(t *testing.T, e *env, ops int, seed int64) (*versionOracle, simclock.Time) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	o := &versionOracle{
+		writes: map[uint64][]struct {
+			seq  uint64
+			val  byte
+			trim bool
+		}{},
+		live: map[uint64]byte{},
+	}
+	at := simclock.Time(0)
+	const lpns = 10
+	for i := 0; i < ops; i++ {
+		lpn := uint64(rng.Intn(lpns))
+		seq := e.r.Log().NextSeq()
+		if rng.Intn(8) == 0 {
+			var err error
+			at, err = e.r.Trim(lpn, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.writes[lpn] = append(o.writes[lpn], struct {
+				seq  uint64
+				val  byte
+				trim bool
+			}{seq, 0, true})
+			delete(o.live, lpn)
+			continue
+		}
+		b := byte(rng.Intn(255) + 1)
+		var err error
+		at, err = e.r.Write(lpn, fill(b, 512), at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.writes[lpn] = append(o.writes[lpn], struct {
+			seq  uint64
+			val  byte
+			trim bool
+		}{seq, b, false})
+		o.live[lpn] = b
+		at = at.Add(simclock.Millisecond)
+	}
+	return o, at
+}
+
+// reopenedDevice simulates a clean shutdown + power cycle: drain, drop the
+// in-RAM RSSD, and Reopen over the same NAND array with a fresh session.
+func reopenedDevice(t *testing.T, e *env, at simclock.Time) *RSSD {
+	t.Helper()
+	if _, err := e.r.OffloadNow(at); err != nil {
+		t.Fatal(err)
+	}
+	dev := e.r.FTL().Device()
+	srv := remote.NewServer(e.store, testPSK)
+	client2, err := remote.Loopback(srv, testPSK, e.r.cfg.DeviceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client2.Close() })
+	r2, err := Reopen(e.r.cfg, dev, client2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r2
+}
+
+func TestReopenRestoresLiveState(t *testing.T) {
+	e := newEnv(t, testConfig())
+	oracle, at := driveTraffic(t, e, 200, 1)
+	r2 := reopenedDevice(t, e, at)
+
+	for lpn := uint64(0); lpn < 10; lpn++ {
+		data, _, err := r2.Read(lpn, at)
+		if err != nil {
+			t.Fatalf("read lpn %d: %v", lpn, err)
+		}
+		want, ok := oracle.live[lpn]
+		if !ok {
+			if !bytes.Equal(data, make([]byte, 512)) {
+				t.Fatalf("lpn %d: expected zeroes after reopen", lpn)
+			}
+			continue
+		}
+		if data[0] != want {
+			t.Fatalf("lpn %d = %d, want %d after reopen", lpn, data[0], want)
+		}
+	}
+}
+
+func TestReopenPreservesVersionHistory(t *testing.T) {
+	e := newEnv(t, testConfig())
+	oracle, at := driveTraffic(t, e, 200, 2)
+	r2 := reopenedDevice(t, e, at)
+
+	// Every historical version is still reachable post-reboot.
+	for lpn, vs := range oracle.writes {
+		for _, v := range vs {
+			if v.trim {
+				continue
+			}
+			data, ok, err := r2.ReadVersionBefore(lpn, v.seq+1, at)
+			if err != nil {
+				t.Fatalf("version (%d, %d): %v", lpn, v.seq, err)
+			}
+			if !ok || data[0] != v.val {
+				t.Fatalf("version (%d, %d) = %v/%v, want %d", lpn, v.seq, data[0], ok, v.val)
+			}
+		}
+	}
+}
+
+func TestReopenContinuesChain(t *testing.T) {
+	e := newEnv(t, testConfig())
+	_, at := driveTraffic(t, e, 100, 3)
+	r2 := reopenedDevice(t, e, at)
+
+	resumeSeq := r2.Log().NextSeq()
+	if resumeSeq != r2.OffloadedUpTo() {
+		t.Fatalf("resume seq %d != offloaded %d", resumeSeq, r2.OffloadedUpTo())
+	}
+	// New activity offloads onto the old chain without rejection.
+	for i := 0; i < 60; i++ {
+		var err error
+		at, err = r2.Write(uint64(i%5), fill(byte(i), 512), at)
+		if err != nil {
+			t.Fatalf("post-reopen write %d: %v", i, err)
+		}
+	}
+	if _, err := r2.OffloadNow(at); err != nil {
+		t.Fatalf("post-reopen offload: %v", err)
+	}
+	// The remote chain is continuous across the reboot.
+	h := e.store.Head(1)
+	entries := e.store.Entries(1, 0, h.NextSeq)
+	if err := oplog.VerifyChain(entries, [32]byte{}); err != nil {
+		t.Fatalf("chain broken across reboot: %v", err)
+	}
+	if h.NextSeq <= resumeSeq {
+		t.Fatal("no post-reboot entries reached the remote")
+	}
+}
+
+func TestReopenRollsBackUncommittedTail(t *testing.T) {
+	e := newEnv(t, testConfig())
+	at := simclock.Time(0)
+	at, _ = e.r.Write(0, fill(0xAA, 512), at)
+	if _, err := e.r.OffloadNow(at); err != nil {
+		t.Fatal(err)
+	}
+	// Crash WITHOUT offloading this write: its log entry dies in RAM.
+	at, _ = e.r.Write(0, fill(0xBB, 512), at)
+	dev := e.r.FTL().Device()
+	srv := remote.NewServer(e.store, testPSK)
+	client2, err := remote.Loopback(srv, testPSK, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	r2, err := Reopen(e.r.cfg, dev, client2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := r2.Read(0, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 0xAA {
+		t.Fatalf("post-crash content = %#x, want rollback to 0xAA", data[0])
+	}
+}
+
+func TestReopenRequiresRemote(t *testing.T) {
+	e := newEnv(t, testConfig())
+	if _, err := Reopen(e.r.cfg, e.r.FTL().Device(), nil); err != ErrNoRemote {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,330 @@
+// Package core implements RSSD, the ransomware-aware SSD of the paper: an
+// FTL extended with hardware-assisted logging, conservative retention of
+// all stale data, an enhanced trim that retains trimmed data, and a
+// hardware-isolated offload path that ships retained pages and the
+// operation log to remote storage in time order.
+//
+// The design invariant is zero data loss: a stale page's local copy is
+// only released for garbage collection after the remote server has
+// acknowledged durable receipt of its contents. Under that invariant the
+// three Ransomware 2.0 attacks are neutralized:
+//
+//   - GC attack: flooding the device forces GC, but GC can only reclaim
+//     space by migrating pins or after offload has drained them — the old
+//     versions survive remotely, so forcing GC destroys nothing.
+//   - Timing attack: retention is no longer bounded by local capacity, so
+//     encrypting slowly does not outlast the retention window; and the
+//     remote detection pipeline sees entropy-stamped logs regardless of
+//     pacing.
+//   - Trimming attack: trim is remapped, not destructive — the trimmed
+//     data is retained and offloaded like any overwrite.
+package core
+
+import (
+	"errors"
+
+	"repro/internal/entropy"
+	"repro/internal/ftl"
+	"repro/internal/oplog"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// Config configures an RSSD instance.
+type Config struct {
+	FTL      ftl.Config
+	DeviceID uint64
+
+	// OffloadHighWater and OffloadLowWater are fractions of the retention
+	// budget (the over-provisioned page pool). When locally retained
+	// pages exceed High, the offload engine drains them to Low.
+	OffloadHighWater float64
+	OffloadLowWater  float64
+	// SegmentMaxPages bounds retained pages per offload segment.
+	SegmentMaxPages int
+	// CheckpointEvery ships a mapping snapshot after that many host ops
+	// (0 disables periodic checkpoints; one is still written on demand).
+	CheckpointEvery uint64
+	// ReadLogSampling logs every Nth host read (1 = all, 0 = none).
+	// Read entries feed the read-then-overwrite ransomware detector.
+	ReadLogSampling int
+	// DisableEnhancedTrim reverts to destructive trim semantics
+	// (ablation: this is what makes the trimming attack succeed).
+	DisableEnhancedTrim bool
+	// DropWhenOffline controls behaviour when no remote client is
+	// attached and retention pressure builds: true drops the oldest
+	// retained pages (LocalSSD-like degradation), false fails writes.
+	DropWhenOffline bool
+}
+
+// DefaultConfig returns the configuration used across the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		FTL:              ftl.DefaultConfig(),
+		DeviceID:         1,
+		OffloadHighWater: 0.70,
+		OffloadLowWater:  0.40,
+		SegmentMaxPages:  128,
+		CheckpointEvery:  4096,
+		ReadLogSampling:  1,
+		DropWhenOffline:  true,
+	}
+}
+
+// Stats aggregates RSSD-level counters on top of the FTL's.
+type Stats struct {
+	HostWrites        uint64
+	HostReads         uint64
+	HostTrims         uint64
+	RetainedNow       int
+	OffloadSegments   uint64
+	OffloadPages      uint64
+	OffloadBytes      uint64 // uncompressed page bytes shipped
+	OffloadEntries    uint64
+	ReleasedPins      uint64
+	DroppedPages      uint64 // retained pages destroyed without offload (offline mode only)
+	Checkpoints       uint64
+	PressureEvents    uint64
+	OffloadErrors     uint64            // background offload failures (retried)
+	OffloadLatency    simclock.Duration // simulated device time spent in synchronous offload
+}
+
+// retEntry tracks one locally retained stale page version.
+type retEntry struct {
+	ppn      uint64
+	lpn      uint64
+	writeSeq uint64 // log seq of the write that created this version
+	staleSeq uint64 // log seq of the op that invalidated it
+	cause    ftl.StaleCause
+	at       simclock.Time
+	released bool
+}
+
+// RSSD is the ransomware-aware SSD. Like the FTL it wraps, it is driven
+// from a single simulation goroutine (the firmware event loop).
+type RSSD struct {
+	cfg Config
+	f   *ftl.FTL
+	log *oplog.Log
+
+	client *remote.Client // nil = no remote attached
+
+	retained map[uint64]*retEntry   // by current PPN
+	retByLPN map[uint64][]*retEntry // writeSeq-ordered per LPN
+	retQueue []*retEntry            // stale-time order (offload FIFO)
+	retHead  int                    // queue head index (popped prefix)
+
+	lpnWriteSeq []uint64 // seq of the latest write per LPN (NoSeq if none)
+
+	curStaleSeq   uint64 // seq to attribute OnStale events to
+	curStaleAt    simclock.Time
+	offloadedUpTo  uint64 // log entries below this are durably remote
+	opsSinceCP     uint64
+	readCounter    uint64
+	lastOffloadErr error
+
+	stats Stats
+}
+
+// NoSeq marks an LPN that has never been written.
+const NoSeq = ^uint64(0)
+
+// Errors returned by RSSD operations.
+var (
+	ErrNoRemote = errors.New("core: no remote client attached")
+)
+
+// New builds an RSSD over a fresh NAND device. client may be nil (offline
+// retention mode); attach one later with AttachRemote.
+func New(cfg Config, client *remote.Client) *RSSD {
+	if cfg.OffloadHighWater <= 0 {
+		cfg.OffloadHighWater = 0.70
+	}
+	if cfg.OffloadLowWater <= 0 || cfg.OffloadLowWater >= cfg.OffloadHighWater {
+		cfg.OffloadLowWater = cfg.OffloadHighWater / 2
+	}
+	if cfg.SegmentMaxPages <= 0 {
+		cfg.SegmentMaxPages = 128
+	}
+	r := &RSSD{
+		cfg:      cfg,
+		log:      oplog.New(),
+		client:   client,
+		retained: map[uint64]*retEntry{},
+		retByLPN: map[uint64][]*retEntry{},
+	}
+	r.f = ftl.New(cfg.FTL, r)
+	r.lpnWriteSeq = make([]uint64, r.f.LogicalPages())
+	for i := range r.lpnWriteSeq {
+		r.lpnWriteSeq[i] = NoSeq
+	}
+	return r
+}
+
+// AttachRemote connects the offload engine to a remote server session.
+func (r *RSSD) AttachRemote(client *remote.Client) { r.client = client }
+
+// FTL exposes the underlying translation layer (read-mostly: stats,
+// geometry, capacity).
+func (r *RSSD) FTL() *ftl.FTL { return r.f }
+
+// Log exposes the operation log (forensics reads it).
+func (r *RSSD) Log() *oplog.Log { return r.log }
+
+// DeviceID returns the device's enrollment identity.
+func (r *RSSD) DeviceID() uint64 { return r.cfg.DeviceID }
+
+// Stats returns a snapshot of RSSD counters.
+func (r *RSSD) Stats() Stats {
+	s := r.stats
+	s.RetainedNow = len(r.retained)
+	return s
+}
+
+// PageSize returns the page size in bytes.
+func (r *RSSD) PageSize() int { return r.f.PageSize() }
+
+// LogicalPages returns the host-visible capacity in pages.
+func (r *RSSD) LogicalPages() uint64 { return r.f.LogicalPages() }
+
+// retentionBudget returns the local page budget for retained data.
+func (r *RSSD) retentionBudget() int { return r.f.RetentionBudgetPages() }
+
+// Write stores one page and logs the operation. The old version, if any,
+// is retained.
+func (r *RSSD) Write(lpn uint64, data []byte, at simclock.Time) (simclock.Time, error) {
+	if len(data) != r.f.PageSize() {
+		return at, ftl.ErrBadPageSize
+	}
+	if lpn >= r.f.LogicalPages() {
+		return at, ftl.ErrOutOfRange
+	}
+	oldPPN := r.f.Lookup(lpn)
+	ent := float32(entropy.Sampled(data, 512))
+	e := r.log.Append(oplog.KindWrite, at, lpn, oldPPN, ftl.NoPPN, ent, oplog.HashData(data))
+	r.curStaleSeq, r.curStaleAt = e.Seq, at
+	done, err := r.f.WriteWithSeq(lpn, data, e.Seq, at)
+	if err != nil {
+		return done, err
+	}
+	r.lpnWriteSeq[lpn] = e.Seq
+	r.stats.HostWrites++
+	return r.afterOp(done)
+}
+
+// Read returns the current contents of lpn, logging a sampled read entry.
+func (r *RSSD) Read(lpn uint64, at simclock.Time) ([]byte, simclock.Time, error) {
+	data, done, err := r.f.Read(lpn, at)
+	if err != nil {
+		return nil, done, err
+	}
+	r.stats.HostReads++
+	if n := r.cfg.ReadLogSampling; n > 0 {
+		r.readCounter++
+		if r.readCounter%uint64(n) == 0 {
+			r.log.Append(oplog.KindRead, at, lpn, r.f.Lookup(lpn), ftl.NoPPN, 0, [oplog.HashSize]byte{})
+		}
+	}
+	return data, done, nil
+}
+
+// Trim invalidates lpn. With enhanced trim (the default) the stale data is
+// retained exactly like an overwritten version; the logical page reads as
+// zeroes afterwards. The paper describes this as remapping the trimmed
+// address to fresh pages — retaining the old pages and serving zeroes is
+// the same observable behaviour without burning erased pages.
+func (r *RSSD) Trim(lpn uint64, at simclock.Time) (simclock.Time, error) {
+	if lpn >= r.f.LogicalPages() {
+		return at, ftl.ErrOutOfRange
+	}
+	oldPPN := r.f.Lookup(lpn)
+	e := r.log.Append(oplog.KindTrim, at, lpn, oldPPN, ftl.NoPPN, 0, [oplog.HashSize]byte{})
+	r.curStaleSeq, r.curStaleAt = e.Seq, at
+	done, err := r.f.Trim(lpn, at)
+	if err != nil {
+		return done, err
+	}
+	if oldPPN != ftl.NoPPN {
+		r.lpnWriteSeq[lpn] = NoSeq
+	}
+	r.stats.HostTrims++
+	return r.afterOp(done)
+}
+
+// afterOp runs the background duties a firmware event loop interleaves
+// with host I/O: watermark-driven offload and periodic checkpoints.
+func (r *RSSD) afterOp(at simclock.Time) (simclock.Time, error) {
+	var err error
+	at, err = r.maybeOffload(at)
+	if err != nil {
+		return at, err
+	}
+	if r.cfg.CheckpointEvery > 0 {
+		r.opsSinceCP++
+		if r.opsSinceCP >= r.cfg.CheckpointEvery {
+			r.opsSinceCP = 0
+			if at, err = r.CheckpointNow(at); err != nil {
+				// Like offload, checkpointing is background work: its
+				// failure is surfaced out of band, never to host I/O.
+				r.stats.OffloadErrors++
+				r.lastOffloadErr = err
+			}
+		}
+	}
+	return at, nil
+}
+
+// --- ftl.Retainer implementation -----------------------------------------
+
+// OnStale pins every stale page: conservative retention.
+func (r *RSSD) OnStale(lpn, ppn uint64, cause ftl.StaleCause, at simclock.Time) bool {
+	if cause == ftl.CauseTrim && r.cfg.DisableEnhancedTrim {
+		return false // ablation: native destructive trim
+	}
+	re := &retEntry{
+		ppn:      ppn,
+		lpn:      lpn,
+		writeSeq: r.lpnWriteSeq[lpn],
+		staleSeq: r.curStaleSeq,
+		cause:    cause,
+		at:       at,
+	}
+	r.retained[ppn] = re
+	r.retByLPN[lpn] = append(r.retByLPN[lpn], re)
+	r.retQueue = append(r.retQueue, re)
+	return true
+}
+
+// OnMigrate follows GC relocations of retained pages.
+func (r *RSSD) OnMigrate(lpn, oldPPN, newPPN uint64, at simclock.Time) {
+	re, ok := r.retained[oldPPN]
+	if !ok {
+		return
+	}
+	delete(r.retained, oldPPN)
+	re.ppn = newPPN
+	r.retained[newPPN] = re
+}
+
+// OnErased observes physical destruction of unpinned stale pages. Under
+// RSSD those pages were either already offloaded (released) or dropped
+// under offline pressure, so nothing remains to track.
+func (r *RSSD) OnErased(lpn, ppn uint64, at simclock.Time) {}
+
+// Pressure is the FTL telling us pins are blocking reclamation. Offload
+// (or, offline, drop) until the requested pages are free.
+func (r *RSSD) Pressure(needPages int, at simclock.Time) {
+	r.stats.PressureEvents++
+	target := len(r.retained) - needPages
+	if target < 0 {
+		target = 0
+	}
+	if r.client != nil {
+		if _, err := r.offloadTo(target, at); err == nil {
+			return
+		}
+	}
+	if r.cfg.DropWhenOffline {
+		r.dropTo(target)
+	}
+}

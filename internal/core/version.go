@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/oplog"
+	"repro/internal/simclock"
+)
+
+// VersionInfo describes one retained version of a logical page, wherever
+// it currently lives.
+type VersionInfo struct {
+	LPN      uint64
+	WriteSeq uint64
+	StaleSeq uint64 // NoSeq for the live version
+	Cause    ftl.StaleCause
+	Local    bool // true: still pinned on local flash
+}
+
+// RetainedVersions lists the locally retained versions of lpn in writeSeq
+// order (oldest first). Remote versions are not included; query the remote
+// store for those.
+func (r *RSSD) RetainedVersions(lpn uint64) []VersionInfo {
+	var out []VersionInfo
+	for _, re := range r.retByLPN[lpn] {
+		if re.released {
+			continue
+		}
+		out = append(out, VersionInfo{
+			LPN: re.lpn, WriteSeq: re.writeSeq, StaleSeq: re.staleSeq,
+			Cause: re.cause, Local: true,
+		})
+	}
+	return out
+}
+
+// WriteSeqOf returns the log sequence of the live version of lpn, or NoSeq
+// if the page is unmapped.
+func (r *RSSD) WriteSeqOf(lpn uint64) uint64 {
+	if lpn >= uint64(len(r.lpnWriteSeq)) {
+		return NoSeq
+	}
+	return r.lpnWriteSeq[lpn]
+}
+
+// ReadVersionBefore returns the contents lpn held just before log sequence
+// `before`. See VersionBefore for the full contract.
+func (r *RSSD) ReadVersionBefore(lpn, before uint64, at simclock.Time) ([]byte, bool, error) {
+	data, _, ok, err := r.VersionBefore(lpn, before, at)
+	return data, ok, err
+}
+
+// VersionBefore returns the contents lpn held just before log sequence
+// `before`: the newest version written with seq < before that was still
+// live at that point. It consults, in order of preference, the live
+// mapping, locally retained pins, and the remote store. A page that was
+// trimmed before `before` (and not rewritten) reads as zeroes, matching
+// what the host would have observed.
+//
+// writeSeq is the log sequence of the write that produced the returned
+// data, or NoSeq when the result is the zero page (never written, or a
+// trim gap); recovery uses it to verify restored content against the
+// log's recorded hash.
+func (r *RSSD) VersionBefore(lpn, before uint64, at simclock.Time) (data []byte, writeSeq uint64, ok bool, err error) {
+	if lpn >= r.f.LogicalPages() {
+		return nil, NoSeq, false, ftl.ErrOutOfRange
+	}
+	type candidate struct {
+		writeSeq uint64
+		staleSeq uint64 // NoSeq if live
+		cause    ftl.StaleCause
+		ppn      uint64 // local location; NoPPN -> fetch remote
+		remote   *oplog.PageRecord
+	}
+	var best *candidate
+
+	// Live version.
+	if ws := r.lpnWriteSeq[lpn]; ws != NoSeq && ws < before {
+		best = &candidate{writeSeq: ws, staleSeq: NoSeq, ppn: r.f.Lookup(lpn)}
+	}
+	// Locally retained versions (sorted by writeSeq).
+	vs := r.retByLPN[lpn]
+	for i := len(vs) - 1; i >= 0; i-- {
+		re := vs[i]
+		if re.released || re.writeSeq == NoSeq || re.writeSeq >= before {
+			continue
+		}
+		if best == nil || re.writeSeq > best.writeSeq {
+			best = &candidate{writeSeq: re.writeSeq, staleSeq: re.staleSeq, cause: re.cause, ppn: re.ppn}
+		}
+		break // list is sorted; the first qualifying from the end is the newest
+	}
+	// Remote versions.
+	if r.client != nil {
+		rec, ok, err := r.client.FetchVersion(lpn, before)
+		if err != nil {
+			return nil, NoSeq, false, fmt.Errorf("core: fetch version lpn %d: %w", lpn, err)
+		}
+		if ok && (best == nil || rec.WriteSeq > best.writeSeq) {
+			recCopy := rec
+			best = &candidate{
+				writeSeq: rec.WriteSeq, staleSeq: rec.StaleSeq,
+				cause: ftl.StaleCause(rec.Cause), remote: &recCopy,
+			}
+		}
+	}
+	if best == nil {
+		// Never written before `before`: logical zeroes.
+		return make([]byte, r.f.PageSize()), NoSeq, false, nil
+	}
+	// If the best version was already stale at `before`, the only way no
+	// newer version qualifies is a trim gap: the page read as zeroes at
+	// that point. (An overwrite-staled best implies a newer version
+	// exists and would have been chosen; if it was dropped in offline
+	// mode, returning the older data is the best surviving restore.)
+	if best.staleSeq != NoSeq && best.staleSeq < before && best.cause == ftl.CauseTrim {
+		return make([]byte, r.f.PageSize()), NoSeq, true, nil
+	}
+	if best.remote != nil {
+		return append([]byte(nil), best.remote.Data...), best.writeSeq, true, nil
+	}
+	data, _, _, err = r.f.ReadPhysical(best.ppn, at)
+	if err != nil {
+		return nil, NoSeq, false, fmt.Errorf("core: read version ppn %d: %w", best.ppn, err)
+	}
+	return data, best.writeSeq, true, nil
+}
+
+// ImageBefore reconstructs the full logical image as it stood just before
+// log sequence `before`. The result has one entry per logical page: nil
+// means the page read as zeroes at that point (never written, or inside a
+// trim gap). Remote versions are fetched in one bulk query rather than
+// per page, so rebuilding a whole device costs one round trip plus local
+// reads — this is the disaster-recovery path ("rebuild onto a fresh
+// device"), as opposed to RestoreWindow's targeted rollback.
+func (r *RSSD) ImageBefore(before uint64, at simclock.Time) ([][]byte, error) {
+	n := r.f.LogicalPages()
+	type cand struct {
+		writeSeq uint64
+		staleSeq uint64
+		cause    ftl.StaleCause
+		ppn      uint64
+		rec      *oplog.PageRecord
+	}
+	best := make([]*cand, n)
+	// Live versions.
+	for lpn := uint64(0); lpn < n; lpn++ {
+		if ws := r.lpnWriteSeq[lpn]; ws != NoSeq && ws < before {
+			best[lpn] = &cand{writeSeq: ws, staleSeq: NoSeq, ppn: r.f.Lookup(lpn)}
+		}
+	}
+	// Locally retained versions.
+	for lpn, vs := range r.retByLPN {
+		for i := len(vs) - 1; i >= 0; i-- {
+			re := vs[i]
+			if re.released || re.writeSeq == NoSeq || re.writeSeq >= before {
+				continue
+			}
+			if b := best[lpn]; b == nil || re.writeSeq > b.writeSeq {
+				best[lpn] = &cand{writeSeq: re.writeSeq, staleSeq: re.staleSeq, cause: re.cause, ppn: re.ppn}
+			}
+			break
+		}
+	}
+	// Remote versions, fetched in bulk.
+	if r.client != nil {
+		recs, err := r.client.FetchImage(before)
+		if err != nil {
+			return nil, fmt.Errorf("core: fetch image: %w", err)
+		}
+		for i := range recs {
+			rec := recs[i]
+			if rec.LPN >= n {
+				continue
+			}
+			if b := best[rec.LPN]; b == nil || rec.WriteSeq > b.writeSeq {
+				best[rec.LPN] = &cand{
+					writeSeq: rec.WriteSeq, staleSeq: rec.StaleSeq,
+					cause: ftl.StaleCause(rec.Cause), rec: &recs[i],
+				}
+			}
+		}
+	}
+	img := make([][]byte, n)
+	for lpn := uint64(0); lpn < n; lpn++ {
+		b := best[lpn]
+		if b == nil {
+			continue // never written: zeroes
+		}
+		if b.staleSeq != NoSeq && b.staleSeq < before && b.cause == ftl.CauseTrim {
+			continue // trim gap: zeroes
+		}
+		if b.rec != nil {
+			img[lpn] = append([]byte(nil), b.rec.Data...)
+			continue
+		}
+		data, _, _, err := r.f.ReadPhysical(b.ppn, at)
+		if err != nil {
+			return nil, fmt.Errorf("core: image read lpn %d (ppn %d): %w", lpn, b.ppn, err)
+		}
+		img[lpn] = data
+	}
+	return img, nil
+}
+
+// RestoreWrite rewrites lpn with recovered data, logging the operation as
+// a recovery action so the evidence chain distinguishes restoration from
+// host activity.
+func (r *RSSD) RestoreWrite(lpn uint64, data []byte, at simclock.Time) (simclock.Time, error) {
+	if len(data) != r.f.PageSize() {
+		return at, ftl.ErrBadPageSize
+	}
+	if lpn >= r.f.LogicalPages() {
+		return at, ftl.ErrOutOfRange
+	}
+	oldPPN := r.f.Lookup(lpn)
+	e := r.log.Append(oplog.KindRecovery, at, lpn, oldPPN, ftl.NoPPN, 0, oplog.HashData(data))
+	r.curStaleSeq, r.curStaleAt = e.Seq, at
+	done, err := r.f.WriteWithSeq(lpn, data, e.Seq, at)
+	if err != nil {
+		return done, err
+	}
+	r.lpnWriteSeq[lpn] = e.Seq
+	return r.afterOp(done)
+}
+
+// RestoreTrim restores a page to the unmapped (zero) state, logging it as
+// a recovery action. Used when the pre-attack state of a page was "never
+// written" or "trimmed by the legitimate owner".
+func (r *RSSD) RestoreTrim(lpn uint64, at simclock.Time) (simclock.Time, error) {
+	if lpn >= r.f.LogicalPages() {
+		return at, ftl.ErrOutOfRange
+	}
+	oldPPN := r.f.Lookup(lpn)
+	e := r.log.Append(oplog.KindRecoveryTrim, at, lpn, oldPPN, ftl.NoPPN, 0, [oplog.HashSize]byte{})
+	r.curStaleSeq, r.curStaleAt = e.Seq, at
+	done, err := r.f.Trim(lpn, at)
+	if err != nil {
+		return done, err
+	}
+	r.lpnWriteSeq[lpn] = NoSeq
+	return r.afterOp(done)
+}

@@ -1,0 +1,55 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/simclock"
+)
+
+// TestCalibrateFromBenignTrace records a benign workload, calibrates the
+// threshold from it, and verifies the calibrated detector still catches
+// the encryptor with no benign false positives.
+func TestCalibrateFromBenignTrace(t *testing.T) {
+	// Record benign history on one rig.
+	r := newRig(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(21))
+	attack.Seed(r.fs, rng, 30, 4)
+	attack.RunBenign(r.fs, rng, 400, simclock.Minute)
+	r.flush(t)
+	benign := r.store.Entries(1, 0, 1<<62)
+	if len(benign) == 0 {
+		t.Fatal("no benign entries recorded")
+	}
+
+	cfg := DefaultConfig()
+	cfg.PageSize = 512
+	calibrated := Calibrate(cfg, benign, 0.2)
+	if calibrated.Threshold < 0.2 || calibrated.Threshold > 0.95 {
+		t.Fatalf("calibrated threshold = %v", calibrated.Threshold)
+	}
+
+	// Fresh rig with the calibrated config: benign clean, attack caught.
+	r2 := newRig(t, calibrated)
+	rng2 := rand.New(rand.NewSource(22))
+	attack.Seed(r2.fs, rng2, 30, 4)
+	attack.RunBenign(r2.fs, rng2, 400, simclock.Minute)
+	r2.flush(t)
+	if n := len(r2.engine.Alerts()); n != 0 {
+		t.Fatalf("calibrated detector raised %d false positives", n)
+	}
+	(&attack.Encryptor{Key: [32]byte{3}}).Run(r2.fs, rng2)
+	r2.flush(t)
+	if len(r2.engine.Alerts()) == 0 {
+		t.Fatal("calibrated detector missed the encryptor")
+	}
+}
+
+func TestCalibrateFloorAndCap(t *testing.T) {
+	// Empty benign trace: threshold falls to the floor.
+	cfg := Calibrate(DefaultConfig(), nil, 0.4)
+	if cfg.Threshold != 0.4 {
+		t.Fatalf("floor not applied: %v", cfg.Threshold)
+	}
+}

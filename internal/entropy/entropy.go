@@ -1,0 +1,57 @@
+// Package entropy estimates the Shannon entropy of page contents.
+//
+// RSSD's firmware stamps an entropy estimate into every operation-log
+// entry as it logs a host write. Encrypted data is indistinguishable from
+// random (entropy close to 8 bits/byte) while typical user data sits far
+// lower, so the remote detection pipeline (internal/detect) uses these
+// estimates to spot encryption ransomware — including the timing attack,
+// whose writes are slow but still high-entropy.
+package entropy
+
+import "math"
+
+// Shannon returns the empirical Shannon entropy of data in bits per byte,
+// in [0, 8]. An empty slice has zero entropy.
+func Shannon(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	total := float64(len(data))
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Sampled returns the Shannon entropy of up to max bytes of data, sampled
+// with a fixed stride across the whole buffer. The device-side logging path
+// uses it to bound per-write CPU cost, as firmware would.
+func Sampled(data []byte, max int) float64 {
+	if max <= 0 || len(data) <= max {
+		return Shannon(data)
+	}
+	stride := len(data) / max
+	sample := make([]byte, 0, max)
+	for i := 0; i < len(data) && len(sample) < max; i += stride {
+		sample = append(sample, data[i])
+	}
+	return Shannon(sample)
+}
+
+// HighEntropy reports whether e (bits/byte) is in the range characteristic
+// of encrypted or well-compressed content. 7.2 splits cleanly between
+// ciphertext (> 7.9 for 4 KiB pages) and typical user data in our traces.
+const HighEntropyThreshold = 7.2
+
+// IsHigh reports whether an entropy estimate indicates ciphertext-like
+// content.
+func IsHigh(e float64) bool { return e >= HighEntropyThreshold }

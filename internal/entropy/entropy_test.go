@@ -1,0 +1,102 @@
+package entropy
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShannonZeroes(t *testing.T) {
+	if got := Shannon(make([]byte, 4096)); got != 0 {
+		t.Fatalf("entropy of zeroes = %v, want 0", got)
+	}
+}
+
+func TestShannonEmpty(t *testing.T) {
+	if got := Shannon(nil); got != 0 {
+		t.Fatalf("entropy of nil = %v", got)
+	}
+}
+
+func TestShannonUniform(t *testing.T) {
+	data := make([]byte, 256*16)
+	for i := range data {
+		data[i] = byte(i % 256)
+	}
+	if got := Shannon(data); math.Abs(got-8.0) > 1e-9 {
+		t.Fatalf("entropy of uniform bytes = %v, want 8", got)
+	}
+}
+
+func TestShannonRandomIsHigh(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.Read(data)
+	got := Shannon(data)
+	if got < 7.9 {
+		t.Fatalf("entropy of random 4KiB = %v, want > 7.9", got)
+	}
+	if !IsHigh(got) {
+		t.Fatal("random data not classified high entropy")
+	}
+}
+
+func TestTextLikeDataIsLow(t *testing.T) {
+	text := []byte("the quick brown fox jumps over the lazy dog. ")
+	data := make([]byte, 0, 4096)
+	for len(data) < 4096 {
+		data = append(data, text...)
+	}
+	got := Shannon(data[:4096])
+	if got > 5 {
+		t.Fatalf("entropy of text = %v, want < 5", got)
+	}
+	if IsHigh(got) {
+		t.Fatal("text classified as high entropy")
+	}
+}
+
+func TestSampledTracksFull(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.Read(data)
+	full := Shannon(data)
+	sampled := Sampled(data, 512)
+	if math.Abs(full-sampled) > 0.5 {
+		t.Fatalf("sampled %v too far from full %v", sampled, full)
+	}
+}
+
+func TestSampledSmallInput(t *testing.T) {
+	data := []byte{1, 2, 3}
+	if Sampled(data, 512) != Shannon(data) {
+		t.Fatal("small input should use full entropy")
+	}
+}
+
+// Property: entropy is always within [0, 8].
+func TestEntropyBoundsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		e := Shannon(data)
+		return e >= 0 && e <= 8+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: entropy is permutation-invariant (depends only on histogram).
+func TestEntropyPermutationProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		rev := make([]byte, len(data))
+		for i, b := range data {
+			rev[len(data)-1-i] = b
+		}
+		return math.Abs(Shannon(data)-Shannon(rev)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

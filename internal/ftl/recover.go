@@ -1,0 +1,79 @@
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/nand"
+)
+
+// Disposition classifies a programmed flash page during mount-time
+// recovery.
+type Disposition uint8
+
+const (
+	// DispLive: the page holds the current version of its logical page.
+	DispLive Disposition = iota + 1
+	// DispRetained: the page holds a stale version that must stay pinned
+	// (RSSD's conservative retention survives reboots).
+	DispRetained
+	// DispDiscard: the page is stale and reclaimable (already offloaded,
+	// or an uncommitted post-crash tail the owner rolls back).
+	DispDiscard
+)
+
+// Recover adopts an existing NAND device image after a power cycle. It
+// scans every block's OOB area and asks classify to judge each programmed
+// page; from the verdicts it rebuilds the mapping, reverse mapping, pin
+// set, and block accounting. Partially programmed blocks are sealed
+// (treated as full) rather than re-opened, the standard firmware practice
+// that avoids writing after an uncertain last page.
+//
+// classify must return DispLive for exactly one page per logical page; the
+// function returns an error if two pages claim the same LPN.
+func Recover(cfg Config, dev *nand.Device, retainer Retainer, classify func(ppn uint64, oob nand.OOB) Disposition) (*FTL, error) {
+	f := Attach(cfg, dev, retainer)
+	g := f.geo
+	// Attach assumed a blank device; rebuild the free list and block
+	// states from what is actually on flash.
+	f.freeList = f.freeList[:0]
+	for b := 0; b < g.TotalBlocks(); b++ {
+		block := uint64(b)
+		prog := dev.Programmed(block)
+		switch {
+		case dev.Bad(block):
+			f.blocks[b] = blockInfo{state: blockFull} // retired
+		case prog == 0:
+			f.blocks[b] = blockInfo{state: blockFree}
+			f.freeList = append(f.freeList, block)
+		default:
+			bi := blockInfo{state: blockFull}
+			for i := 0; i < prog; i++ {
+				ppn := g.PPN(block, i)
+				oob, ok := dev.ReadOOB(ppn)
+				if !ok {
+					return nil, fmt.Errorf("ftl: recover: block %d page %d counted programmed but unreadable", block, i)
+				}
+				switch classify(ppn, oob) {
+				case DispLive:
+					if oob.LPN >= f.logicalPages {
+						return nil, fmt.Errorf("ftl: recover: live ppn %d claims out-of-range lpn %d", ppn, oob.LPN)
+					}
+					if f.l2p[oob.LPN] != NoPPN {
+						return nil, fmt.Errorf("ftl: recover: lpn %d claimed live by ppn %d and %d", oob.LPN, f.l2p[oob.LPN], ppn)
+					}
+					f.l2p[oob.LPN] = ppn
+					f.rmap[ppn] = oob.LPN
+					bi.valid++
+				case DispRetained:
+					f.rmap[ppn] = oob.LPN
+					f.pinned[ppn] = true
+					bi.pinned++
+				default: // DispDiscard: stale, reclaimable
+					f.rmap[ppn] = oob.LPN
+				}
+			}
+			f.blocks[b] = bi
+		}
+	}
+	return f, nil
+}

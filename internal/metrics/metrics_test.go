@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simclock"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(simclock.Duration(i) * simclock.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != simclock.Duration(50500) {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Min(); got != simclock.Microsecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != 100*simclock.Microsecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Percentile(50); got != 50*simclock.Microsecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got != 99*simclock.Microsecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*simclock.Microsecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := h.Percentile(0); got != simclock.Microsecond {
+		t.Fatalf("p0 = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	if h.String() != "no samples" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestHistogramThinning(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 10000; i++ {
+		h.Observe(simclock.Duration(i))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if len(h.samples) > 128 {
+		t.Fatalf("reservoir grew to %d", len(h.samples))
+	}
+	// Percentiles remain approximately correct after thinning.
+	p50 := float64(h.Percentile(50))
+	if p50 < 3000 || p50 > 7000 {
+		t.Fatalf("thinned p50 = %v, want ~5000", p50)
+	}
+}
+
+func TestHistogramStringFormat(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(simclock.Millisecond)
+	s := h.String()
+	if !strings.Contains(s, "n=1") || !strings.Contains(s, "mean=1ms") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("workload", "days", "winner")
+	tb.AddRow("hm_0", 3.14159, "RSSD")
+	tb.AddRow("websrv", 200, "RSSD")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "workload  days") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "3.14") {
+		t.Fatalf("float not formatted: %q", lines[2])
+	}
+}
+
+// Property: percentiles are monotonically non-decreasing in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(0)
+		for _, v := range raw {
+			h.Observe(simclock.Duration(v))
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return h.Percentile(pa) <= h.Percentile(pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min <= mean <= max always.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(0)
+		for _, v := range raw {
+			h.Observe(simclock.Duration(v))
+		}
+		return h.Min() <= h.Mean() && h.Mean() <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package nvme models the block I/O interface of Figure 1: an NVMe-style
+// command set with submission/completion queues between the (untrusted)
+// host and the device firmware.
+//
+// Commands address 512-byte logical blocks, as NVMe does; the controller
+// translates them to the device's flash pages. Multi-block commands are
+// split across pages, trims map to Dataset Management deallocations, and
+// completions preserve submission order per queue — the firmware event
+// loop processes one submission queue entry at a time, which is also the
+// concurrency model the rest of the simulation assumes.
+package nvme
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/host"
+	"repro/internal/simclock"
+)
+
+// Opcode is an NVMe I/O command opcode (the subset the evaluation needs).
+type Opcode uint8
+
+// Supported opcodes.
+const (
+	OpFlush Opcode = 0x00
+	OpWrite Opcode = 0x01
+	OpRead  Opcode = 0x02
+	// OpDSM is Dataset Management with the Deallocate attribute: trim.
+	OpDSM Opcode = 0x09
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpFlush:
+		return "flush"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpDSM:
+		return "dsm-deallocate"
+	default:
+		return fmt.Sprintf("Opcode(%#x)", uint8(o))
+	}
+}
+
+// Status is an NVMe completion status code (simplified).
+type Status uint16
+
+// Completion statuses.
+const (
+	StatusSuccess Status = 0x0
+	StatusLBARange Status = 0x80 // LBA out of range
+	StatusInternal Status = 0x6
+	StatusInvalid  Status = 0x2 // invalid field (bad size, nil buffer)
+)
+
+// LBASize is the logical block size exposed by the controller.
+const LBASize = 512
+
+// Command is one submission-queue entry.
+type Command struct {
+	Opcode Opcode
+	CID    uint16 // command identifier, echoed in the completion
+	SLBA   uint64 // starting LBA
+	NLB    uint32 // number of logical blocks
+	Data   []byte // write payload (len == NLB*LBASize)
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	CID    uint16
+	Status Status
+	Data   []byte // read payload
+	SQHead int    // submission queue head after this completion
+	At     simclock.Time
+}
+
+// Errors returned by queue operations.
+var (
+	ErrQueueFull  = errors.New("nvme: submission queue full")
+	ErrQueueEmpty = errors.New("nvme: completion queue empty")
+)
+
+// Controller fronts a block device with NVMe-style queue pairs.
+type Controller struct {
+	dev      host.BlockDevice
+	pageSize int
+	lbasPerPage uint64
+	maxLBA   uint64
+}
+
+// NewController wraps a block device. The device's page size must be a
+// multiple of the 512-byte LBA size (flash pages always are).
+func NewController(dev host.BlockDevice) *Controller {
+	ps := dev.PageSize()
+	if ps%LBASize != 0 {
+		panic(fmt.Sprintf("nvme: page size %d not a multiple of %d", ps, LBASize))
+	}
+	lpp := uint64(ps / LBASize)
+	return &Controller{
+		dev:         dev,
+		pageSize:    ps,
+		lbasPerPage: lpp,
+		maxLBA:      dev.LogicalPages() * lpp,
+	}
+}
+
+// MaxLBA returns the number of addressable logical blocks.
+func (c *Controller) MaxLBA() uint64 { return c.maxLBA }
+
+// QueuePair creates a submission/completion queue pair of the given depth.
+func (c *Controller) QueuePair(depth int) *QueuePair {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &QueuePair{ctrl: c, depth: depth}
+}
+
+// QueuePair is one NVMe SQ/CQ pair. Not safe for concurrent use, like a
+// per-core NVMe queue.
+type QueuePair struct {
+	ctrl  *Controller
+	depth int
+	sq    []Command
+	cq    []Completion
+}
+
+// Submit places a command on the submission queue.
+func (q *QueuePair) Submit(cmd Command) error {
+	if len(q.sq)+len(q.cq) >= q.depth {
+		return ErrQueueFull
+	}
+	q.sq = append(q.sq, cmd)
+	return nil
+}
+
+// Process executes up to n submitted commands (n <= 0 means all),
+// appending completions in submission order. It returns the simulated time
+// after the last executed command.
+func (q *QueuePair) Process(n int, at simclock.Time) simclock.Time {
+	if n <= 0 || n > len(q.sq) {
+		n = len(q.sq)
+	}
+	for i := 0; i < n; i++ {
+		cmd := q.sq[i]
+		comp := q.ctrl.execute(cmd, &at)
+		comp.SQHead = len(q.sq) - (i + 1)
+		q.cq = append(q.cq, comp)
+	}
+	q.sq = append(q.sq[:0], q.sq[n:]...)
+	return at
+}
+
+// Reap pops the oldest completion.
+func (q *QueuePair) Reap() (Completion, error) {
+	if len(q.cq) == 0 {
+		return Completion{}, ErrQueueEmpty
+	}
+	comp := q.cq[0]
+	q.cq = append(q.cq[:0], q.cq[1:]...)
+	return comp, nil
+}
+
+// Outstanding returns the number of unprocessed submissions.
+func (q *QueuePair) Outstanding() int { return len(q.sq) }
+
+// Completions returns the number of unreaped completions.
+func (q *QueuePair) Completions() int { return len(q.cq) }
+
+// execute runs one command against the device.
+func (c *Controller) execute(cmd Command, at *simclock.Time) Completion {
+	comp := Completion{CID: cmd.CID, Status: StatusSuccess}
+	end := cmd.SLBA + uint64(cmd.NLB)
+	if cmd.Opcode != OpFlush && (cmd.NLB == 0 || end > c.maxLBA || end < cmd.SLBA) {
+		comp.Status = StatusLBARange
+		comp.At = *at
+		return comp
+	}
+	switch cmd.Opcode {
+	case OpFlush:
+		comp.At = *at // all writes are durable on completion in this model
+
+	case OpWrite:
+		if len(cmd.Data) != int(cmd.NLB)*LBASize {
+			comp.Status = StatusInvalid
+			break
+		}
+		// Read-modify-write for partial pages at the edges, full-page
+		// writes in the middle — exactly what a controller does.
+		firstPage := cmd.SLBA / c.lbasPerPage
+		lastPage := (end - 1) / c.lbasPerPage
+		off := 0
+		for p := firstPage; p <= lastPage; p++ {
+			pageStartLBA := p * c.lbasPerPage
+			lo := uint64(0)
+			if cmd.SLBA > pageStartLBA {
+				lo = cmd.SLBA - pageStartLBA
+			}
+			hi := c.lbasPerPage
+			if end < pageStartLBA+c.lbasPerPage {
+				hi = end - pageStartLBA
+			}
+			var page []byte
+			if lo == 0 && hi == c.lbasPerPage {
+				page = cmd.Data[off : off+c.pageSize]
+			} else {
+				old, done, err := c.dev.Read(p, *at)
+				if err != nil {
+					comp.Status = StatusInternal
+					comp.At = *at
+					return comp
+				}
+				*at = done
+				copy(old[lo*LBASize:hi*LBASize], cmd.Data[off:])
+				page = old
+			}
+			done, err := c.dev.Write(p, page, *at)
+			if err != nil {
+				comp.Status = StatusInternal
+				comp.At = *at
+				return comp
+			}
+			*at = done
+			off += int(hi-lo) * LBASize
+		}
+		comp.At = *at
+
+	case OpRead:
+		out := make([]byte, 0, int(cmd.NLB)*LBASize)
+		firstPage := cmd.SLBA / c.lbasPerPage
+		lastPage := (end - 1) / c.lbasPerPage
+		for p := firstPage; p <= lastPage; p++ {
+			data, done, err := c.dev.Read(p, *at)
+			if err != nil {
+				comp.Status = StatusInternal
+				comp.At = *at
+				return comp
+			}
+			*at = done
+			pageStartLBA := p * c.lbasPerPage
+			lo := uint64(0)
+			if cmd.SLBA > pageStartLBA {
+				lo = cmd.SLBA - pageStartLBA
+			}
+			hi := c.lbasPerPage
+			if end < pageStartLBA+c.lbasPerPage {
+				hi = end - pageStartLBA
+			}
+			out = append(out, data[lo*LBASize:hi*LBASize]...)
+		}
+		comp.Data = out
+		comp.At = *at
+
+	case OpDSM:
+		// Deallocate: whole pages are trimmed; partial pages at the
+		// edges are left alone (deallocation is advisory in NVMe).
+		firstFull := (cmd.SLBA + c.lbasPerPage - 1) / c.lbasPerPage
+		lastFull := end / c.lbasPerPage // exclusive
+		for p := firstFull; p < lastFull; p++ {
+			done, err := c.dev.Trim(p, *at)
+			if err != nil {
+				comp.Status = StatusInternal
+				comp.At = *at
+				return comp
+			}
+			*at = done
+		}
+		comp.At = *at
+
+	default:
+		comp.Status = StatusInvalid
+		comp.At = *at
+	}
+	if comp.At == 0 {
+		comp.At = *at
+	}
+	return comp
+}

@@ -1,0 +1,254 @@
+package nvme
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ftl"
+	"repro/internal/nand"
+	"repro/internal/simclock"
+)
+
+// newCtrl returns a controller over a plain FTL with 4 KiB pages.
+func newCtrl() *Controller {
+	cfg := ftl.Config{
+		NAND: nand.Config{
+			Geometry: nand.Geometry{
+				Channels: 2, ChipsPerChannel: 2, DiesPerChip: 1, PlanesPerDie: 1,
+				BlocksPerPlane: 32, PagesPerBlock: 16, PageSize: 4096,
+			},
+			Timing: nand.DefaultTiming(),
+		},
+		OverProvision: 0.2,
+	}
+	return NewController(ftl.New(cfg, nil))
+}
+
+func lbas(b byte, n int) []byte {
+	p := make([]byte, n*LBASize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func submitAndRun(t *testing.T, q *QueuePair, cmd Command) Completion {
+	t.Helper()
+	if err := q.Submit(cmd); err != nil {
+		t.Fatal(err)
+	}
+	q.Process(0, 0)
+	comp, err := q.Reap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func TestWriteReadAligned(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	data := lbas(0xAB, 16) // exactly two pages
+	w := submitAndRun(t, q, Command{Opcode: OpWrite, CID: 1, SLBA: 0, NLB: 16, Data: data})
+	if w.Status != StatusSuccess || w.CID != 1 {
+		t.Fatalf("write completion: %+v", w)
+	}
+	r := submitAndRun(t, q, Command{Opcode: OpRead, CID: 2, SLBA: 0, NLB: 16})
+	if r.Status != StatusSuccess || !bytes.Equal(r.Data, data) {
+		t.Fatalf("read mismatch: status %v, %d bytes", r.Status, len(r.Data))
+	}
+}
+
+func TestUnalignedWriteReadModifyWrite(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	// Fill page 0 with background, then overwrite LBAs 2..5 only.
+	submitAndRun(t, q, Command{Opcode: OpWrite, CID: 1, SLBA: 0, NLB: 8, Data: lbas(0x11, 8)})
+	w := submitAndRun(t, q, Command{Opcode: OpWrite, CID: 2, SLBA: 2, NLB: 3, Data: lbas(0x22, 3)})
+	if w.Status != StatusSuccess {
+		t.Fatalf("partial write: %+v", w)
+	}
+	r := submitAndRun(t, q, Command{Opcode: OpRead, CID: 3, SLBA: 0, NLB: 8})
+	for i := 0; i < 8; i++ {
+		want := byte(0x11)
+		if i >= 2 && i < 5 {
+			want = 0x22
+		}
+		if r.Data[i*LBASize] != want {
+			t.Fatalf("lba %d = %#x, want %#x", i, r.Data[i*LBASize], want)
+		}
+	}
+}
+
+func TestCrossPageUnalignedRead(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	submitAndRun(t, q, Command{Opcode: OpWrite, CID: 1, SLBA: 0, NLB: 24, Data: func() []byte {
+		p := make([]byte, 24*LBASize)
+		for i := 0; i < 24; i++ {
+			p[i*LBASize] = byte(i)
+		}
+		return p
+	}()})
+	// Read LBAs 6..18: spans three pages, unaligned on both ends.
+	r := submitAndRun(t, q, Command{Opcode: OpRead, CID: 2, SLBA: 6, NLB: 12})
+	if r.Status != StatusSuccess || len(r.Data) != 12*LBASize {
+		t.Fatalf("read: %+v (%d bytes)", r.Status, len(r.Data))
+	}
+	for i := 0; i < 12; i++ {
+		if r.Data[i*LBASize] != byte(6+i) {
+			t.Fatalf("lba %d = %d, want %d", 6+i, r.Data[i*LBASize], 6+i)
+		}
+	}
+}
+
+func TestDSMTrimsWholePagesOnly(t *testing.T) {
+	ctrl := newCtrl()
+	q := ctrl.QueuePair(32)
+	submitAndRun(t, q, Command{Opcode: OpWrite, CID: 1, SLBA: 0, NLB: 24, Data: lbas(0x33, 24)})
+	// Deallocate LBAs 4..20: only page 1 (LBAs 8..15) is fully covered.
+	d := submitAndRun(t, q, Command{Opcode: OpDSM, CID: 2, SLBA: 4, NLB: 16})
+	if d.Status != StatusSuccess {
+		t.Fatalf("dsm: %+v", d)
+	}
+	r := submitAndRun(t, q, Command{Opcode: OpRead, CID: 3, SLBA: 0, NLB: 24})
+	if r.Data[0] != 0x33 || r.Data[23*LBASize] != 0x33 {
+		t.Fatal("partial pages were trimmed")
+	}
+	if r.Data[8*LBASize] != 0 || r.Data[15*LBASize] != 0 {
+		t.Fatal("fully covered page not trimmed")
+	}
+}
+
+func TestFlushCompletes(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	c := submitAndRun(t, q, Command{Opcode: OpFlush, CID: 9})
+	if c.Status != StatusSuccess || c.CID != 9 {
+		t.Fatalf("flush: %+v", c)
+	}
+}
+
+func TestLBARangeErrors(t *testing.T) {
+	ctrl := newCtrl()
+	q := ctrl.QueuePair(32)
+	max := ctrl.MaxLBA()
+	cases := []Command{
+		{Opcode: OpRead, SLBA: max, NLB: 1},
+		{Opcode: OpWrite, SLBA: max - 1, NLB: 2, Data: lbas(0, 2)},
+		{Opcode: OpRead, SLBA: 0, NLB: 0},
+		{Opcode: OpDSM, SLBA: ^uint64(0) - 1, NLB: 4},
+	}
+	for i, cmd := range cases {
+		cmd.CID = uint16(i)
+		if c := submitAndRun(t, q, cmd); c.Status != StatusLBARange {
+			t.Errorf("case %d: status %v, want LBARange", i, c.Status)
+		}
+	}
+}
+
+func TestInvalidWritePayload(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	c := submitAndRun(t, q, Command{Opcode: OpWrite, SLBA: 0, NLB: 4, Data: lbas(0, 3)})
+	if c.Status != StatusInvalid {
+		t.Fatalf("status = %v", c.Status)
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	c := submitAndRun(t, q, Command{Opcode: Opcode(0x7F), SLBA: 0, NLB: 1})
+	if c.Status != StatusInvalid {
+		t.Fatalf("status = %v", c.Status)
+	}
+}
+
+func TestQueueDepthEnforced(t *testing.T) {
+	q := newCtrl().QueuePair(2)
+	if err := q.Submit(Command{Opcode: OpFlush}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Command{Opcode: OpFlush}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Command{Opcode: OpFlush}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v", err)
+	}
+	// Processing does not free depth until completions are reaped.
+	q.Process(0, 0)
+	if err := q.Submit(Command{Opcode: OpFlush}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("unreaped completions should hold depth: %v", err)
+	}
+	q.Reap()
+	if err := q.Submit(Command{Opcode: OpFlush}); err != nil {
+		t.Fatalf("after reap: %v", err)
+	}
+}
+
+func TestCompletionOrderMatchesSubmission(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	for i := 0; i < 5; i++ {
+		if err := q.Submit(Command{Opcode: OpWrite, CID: uint16(i), SLBA: uint64(i * 8), NLB: 8, Data: lbas(byte(i), 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Process(0, 0)
+	for i := 0; i < 5; i++ {
+		c, err := q.Reap()
+		if err != nil || c.CID != uint16(i) {
+			t.Fatalf("completion %d: cid %d err %v", i, c.CID, err)
+		}
+	}
+	if _, err := q.Reap(); !errors.Is(err, ErrQueueEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPartialProcessing(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	for i := 0; i < 4; i++ {
+		q.Submit(Command{Opcode: OpFlush, CID: uint16(i)})
+	}
+	q.Process(2, 0)
+	if q.Outstanding() != 2 || q.Completions() != 2 {
+		t.Fatalf("outstanding=%d completions=%d", q.Outstanding(), q.Completions())
+	}
+}
+
+func TestSimTimeAdvancesThroughQueue(t *testing.T) {
+	q := newCtrl().QueuePair(32)
+	q.Submit(Command{Opcode: OpWrite, CID: 1, SLBA: 0, NLB: 8, Data: lbas(1, 8)})
+	end := q.Process(0, simclock.Time(1000))
+	if end <= simclock.Time(1000) {
+		t.Fatal("processing consumed no simulated time")
+	}
+	c, _ := q.Reap()
+	if c.At != end {
+		t.Fatalf("completion at %v, processing ended %v", c.At, end)
+	}
+}
+
+// Property: any aligned write/read pair round-trips through the LBA layer.
+func TestLBARoundTripProperty(t *testing.T) {
+	ctrl := newCtrl()
+	q := ctrl.QueuePair(64)
+	f := func(slba16 uint16, nlb8 uint8, fill byte) bool {
+		nlb := uint32(nlb8%32) + 1
+		slba := uint64(slba16) % (ctrl.MaxLBA() - uint64(nlb))
+		data := lbas(fill, int(nlb))
+		if err := q.Submit(Command{Opcode: OpWrite, SLBA: slba, NLB: nlb, Data: data}); err != nil {
+			return false
+		}
+		q.Process(0, 0)
+		if c, _ := q.Reap(); c.Status != StatusSuccess {
+			return false
+		}
+		if err := q.Submit(Command{Opcode: OpRead, SLBA: slba, NLB: nlb}); err != nil {
+			return false
+		}
+		q.Process(0, 0)
+		c, _ := q.Reap()
+		return c.Status == StatusSuccess && bytes.Equal(c.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

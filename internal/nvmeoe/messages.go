@@ -1,0 +1,167 @@
+package nvmeoe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file defines the typed payloads carried inside frames. They are
+// hand-encoded with encoding/binary — the firmware counterpart would do the
+// same; no reflection-based codec survives in a storage controller.
+
+// FetchKind selects what a MsgFetch asks the remote store for.
+type FetchKind uint8
+
+const (
+	// FetchEntries requests log entries with From <= Seq < To.
+	FetchEntries FetchKind = iota + 1
+	// FetchVersion requests the newest retained version of LPN written
+	// before sequence Before.
+	FetchVersion
+	// FetchImage requests, for every LPN, the newest retained version
+	// written before sequence Before (a full point-in-time image).
+	FetchImage
+	// FetchCheckpoint requests the newest mapping checkpoint with
+	// Seq <= Before.
+	FetchCheckpoint
+	// FetchHead requests the remote chain state: highest contiguous
+	// sequence and its chain hash (used to anchor forensic verification).
+	FetchHead
+)
+
+// FetchReq is a retrieval request issued during recovery or forensics.
+type FetchReq struct {
+	Kind   FetchKind
+	LPN    uint64
+	From   uint64
+	To     uint64
+	Before uint64
+}
+
+// ErrBadMessage reports a payload that does not decode.
+var ErrBadMessage = errors.New("nvmeoe: malformed message payload")
+
+// Marshal encodes the request.
+func (r *FetchReq) Marshal() []byte {
+	b := make([]byte, 0, 1+4*8)
+	b = append(b, byte(r.Kind))
+	b = binary.LittleEndian.AppendUint64(b, r.LPN)
+	b = binary.LittleEndian.AppendUint64(b, r.From)
+	b = binary.LittleEndian.AppendUint64(b, r.To)
+	b = binary.LittleEndian.AppendUint64(b, r.Before)
+	return b
+}
+
+// UnmarshalFetchReq decodes a request.
+func UnmarshalFetchReq(b []byte) (FetchReq, error) {
+	if len(b) != 1+4*8 {
+		return FetchReq{}, fmt.Errorf("%w: fetch req size %d", ErrBadMessage, len(b))
+	}
+	return FetchReq{
+		Kind:   FetchKind(b[0]),
+		LPN:    binary.LittleEndian.Uint64(b[1:]),
+		From:   binary.LittleEndian.Uint64(b[9:]),
+		To:     binary.LittleEndian.Uint64(b[17:]),
+		Before: binary.LittleEndian.Uint64(b[25:]),
+	}, nil
+}
+
+// Ack acknowledges durable receipt of segments (or checkpoints) up to and
+// including sequence UpTo. The device may only release local pins for data
+// covered by an ack — that ordering is what makes retention loss-free.
+type Ack struct {
+	UpTo uint64
+}
+
+// Marshal encodes the ack.
+func (a *Ack) Marshal() []byte {
+	return binary.LittleEndian.AppendUint64(nil, a.UpTo)
+}
+
+// UnmarshalAck decodes an ack.
+func UnmarshalAck(b []byte) (Ack, error) {
+	if len(b) != 8 {
+		return Ack{}, fmt.Errorf("%w: ack size %d", ErrBadMessage, len(b))
+	}
+	return Ack{UpTo: binary.LittleEndian.Uint64(b)}, nil
+}
+
+// Checkpoint carries a serialized mapping snapshot: the L2P table at a
+// given log sequence. Recovery starts from the newest checkpoint before
+// the attack and replays forward, bounding reconstruction work.
+type Checkpoint struct {
+	Seq uint64
+	L2P []uint64
+}
+
+// Marshal encodes the checkpoint.
+func (c *Checkpoint) Marshal() []byte {
+	b := make([]byte, 0, 16+8*len(c.L2P))
+	b = binary.LittleEndian.AppendUint64(b, c.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(c.L2P)))
+	for _, v := range c.L2P {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+// UnmarshalCheckpoint decodes a checkpoint.
+func UnmarshalCheckpoint(b []byte) (Checkpoint, error) {
+	if len(b) < 16 {
+		return Checkpoint{}, fmt.Errorf("%w: checkpoint header", ErrBadMessage)
+	}
+	c := Checkpoint{Seq: binary.LittleEndian.Uint64(b)}
+	n := binary.LittleEndian.Uint64(b[8:])
+	if uint64(len(b)-16) != 8*n {
+		return Checkpoint{}, fmt.Errorf("%w: checkpoint body %d for %d entries", ErrBadMessage, len(b)-16, n)
+	}
+	c.L2P = make([]uint64, n)
+	for i := range c.L2P {
+		c.L2P[i] = binary.LittleEndian.Uint64(b[16+8*i:])
+	}
+	return c, nil
+}
+
+// Head describes the remote store's view of a device's log chain.
+type Head struct {
+	NextSeq uint64   // one past the highest contiguous sequence stored
+	Hash    [32]byte // chain hash at NextSeq-1 (zero when empty)
+}
+
+// Marshal encodes the head.
+func (h *Head) Marshal() []byte {
+	b := binary.LittleEndian.AppendUint64(nil, h.NextSeq)
+	return append(b, h.Hash[:]...)
+}
+
+// UnmarshalHead decodes a head.
+func UnmarshalHead(b []byte) (Head, error) {
+	if len(b) != 8+32 {
+		return Head{}, fmt.Errorf("%w: head size %d", ErrBadMessage, len(b))
+	}
+	var h Head
+	h.NextSeq = binary.LittleEndian.Uint64(b)
+	copy(h.Hash[:], b[8:])
+	return h, nil
+}
+
+// ErrorMsg carries a server-side failure back to the device.
+type ErrorMsg struct {
+	Code uint32
+	Text string
+}
+
+// Marshal encodes the error message.
+func (e *ErrorMsg) Marshal() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, e.Code)
+	return append(b, e.Text...)
+}
+
+// UnmarshalErrorMsg decodes an error message.
+func UnmarshalErrorMsg(b []byte) (ErrorMsg, error) {
+	if len(b) < 4 {
+		return ErrorMsg{}, fmt.Errorf("%w: error msg size %d", ErrBadMessage, len(b))
+	}
+	return ErrorMsg{Code: binary.LittleEndian.Uint32(b), Text: string(b[4:])}, nil
+}

@@ -1,0 +1,148 @@
+package oplog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/simclock"
+)
+
+// PageRecord carries one retained page's contents out of the device during
+// offload. WriteSeq is the log sequence of the write that produced this
+// version (stamped in the flash page's OOB area), StaleSeq the sequence of
+// the overwrite/trim that made it stale. Together they let the remote
+// store index versions by (LPN, lifetime interval), which is what recovery
+// queries.
+type PageRecord struct {
+	LPN      uint64
+	WriteSeq uint64
+	StaleSeq uint64
+	Cause    uint8 // ftl.StaleCause value; kept as raw byte to avoid a dependency cycle
+	Hash     [HashSize]byte
+	Data     []byte
+}
+
+// Segment is the unit of offload: a contiguous run of log entries plus the
+// retained pages whose local copies the device wants to reclaim. Segments
+// are produced in time order, preserving the paper's "transfer in time
+// order" property that post-attack analysis relies on.
+type Segment struct {
+	DeviceID  uint64
+	FirstSeq  uint64 // first entry sequence (== Entries[0].Seq when present)
+	LastSeq   uint64 // one past the last entry sequence
+	FirstTime simclock.Time
+	LastTime  simclock.Time
+	Entries   []Entry
+	Pages     []PageRecord
+}
+
+const segmentMagic = 0x52535347 // "RSSG"
+
+// Errors returned by segment decoding.
+var (
+	ErrBadSegment = errors.New("oplog: malformed segment")
+	ErrBadMagic   = errors.New("oplog: bad segment magic")
+)
+
+// Marshal serializes the segment.
+func (s *Segment) Marshal() []byte {
+	size := 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + len(s.Entries)*EntrySize
+	for _, p := range s.Pages {
+		size += 8 + 8 + 8 + 1 + HashSize + 4 + len(p.Data)
+	}
+	b := make([]byte, 0, size)
+	b = binary.LittleEndian.AppendUint32(b, segmentMagic)
+	b = binary.LittleEndian.AppendUint64(b, s.DeviceID)
+	b = binary.LittleEndian.AppendUint64(b, s.FirstSeq)
+	b = binary.LittleEndian.AppendUint64(b, s.LastSeq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.FirstTime))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.LastTime))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Entries)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Pages)))
+	for i := range s.Entries {
+		b = s.Entries[i].Marshal(b)
+	}
+	for i := range s.Pages {
+		p := &s.Pages[i]
+		b = binary.LittleEndian.AppendUint64(b, p.LPN)
+		b = binary.LittleEndian.AppendUint64(b, p.WriteSeq)
+		b = binary.LittleEndian.AppendUint64(b, p.StaleSeq)
+		b = append(b, p.Cause)
+		b = append(b, p.Hash[:]...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Data)))
+		b = append(b, p.Data...)
+	}
+	return b
+}
+
+// UnmarshalSegment decodes a segment produced by Marshal.
+func UnmarshalSegment(b []byte) (*Segment, error) {
+	const headerSize = 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 // magic + 5×uint64 + 2 counts
+	if len(b) < headerSize {
+		return nil, ErrBadSegment
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != segmentMagic {
+		return nil, ErrBadMagic
+	}
+	s := &Segment{
+		DeviceID:  binary.LittleEndian.Uint64(b[4:]),
+		FirstSeq:  binary.LittleEndian.Uint64(b[12:]),
+		LastSeq:   binary.LittleEndian.Uint64(b[20:]),
+		FirstTime: simclock.Time(binary.LittleEndian.Uint64(b[28:])),
+		LastTime:  simclock.Time(binary.LittleEndian.Uint64(b[36:])),
+	}
+	nEntries := binary.LittleEndian.Uint32(b[44:])
+	nPages := binary.LittleEndian.Uint32(b[48:])
+	b = b[52:]
+	s.Entries = make([]Entry, 0, nEntries)
+	for i := uint32(0); i < nEntries; i++ {
+		e, rest, err := UnmarshalEntry(b)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %d: %v", ErrBadSegment, i, err)
+		}
+		s.Entries = append(s.Entries, e)
+		b = rest
+	}
+	s.Pages = make([]PageRecord, 0, nPages)
+	for i := uint32(0); i < nPages; i++ {
+		if len(b) < 8+8+8+1+HashSize+4 {
+			return nil, fmt.Errorf("%w: page %d header", ErrBadSegment, i)
+		}
+		var p PageRecord
+		p.LPN = binary.LittleEndian.Uint64(b[0:])
+		p.WriteSeq = binary.LittleEndian.Uint64(b[8:])
+		p.StaleSeq = binary.LittleEndian.Uint64(b[16:])
+		p.Cause = b[24]
+		copy(p.Hash[:], b[25:25+HashSize])
+		n := binary.LittleEndian.Uint32(b[25+HashSize:])
+		b = b[29+HashSize:]
+		if uint32(len(b)) < n {
+			return nil, fmt.Errorf("%w: page %d data", ErrBadSegment, i)
+		}
+		p.Data = append([]byte(nil), b[:n]...)
+		b = b[n:]
+		s.Pages = append(s.Pages, p)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSegment, len(b))
+	}
+	return s, nil
+}
+
+// VerifyPages checks each page record's content hash. Recovery refuses to
+// restore from a page whose hash does not match the log.
+func (s *Segment) VerifyPages() error {
+	for i := range s.Pages {
+		p := &s.Pages[i]
+		if sha256.Sum256(p.Data) != p.Hash {
+			return fmt.Errorf("oplog: page record %d (lpn %d, writeSeq %d): content hash mismatch",
+				i, p.LPN, p.WriteSeq)
+		}
+	}
+	return nil
+}
+
+// HashData returns the SHA-256 content hash used throughout the log.
+func HashData(data []byte) [HashSize]byte { return sha256.Sum256(data) }

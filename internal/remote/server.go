@@ -1,0 +1,302 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/nvmeoe"
+	"repro/internal/oplog"
+)
+
+// Error codes carried in MsgError payloads.
+const (
+	CodeNotFound = 404
+	CodeBadData  = 400
+	CodeInternal = 500
+)
+
+// Server accepts NVMe-oE sessions from devices and serves the Store.
+type Server struct {
+	Store *Store
+	// LookupPSK maps an enrolled device ID to its pre-shared key.
+	LookupPSK func(deviceID uint64) ([]byte, bool)
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewServer returns a server over store that accepts any device presenting
+// psk (single-tenant setup; use LookupPSK directly for fleets).
+func NewServer(store *Store, psk []byte) *Server {
+	return &Server{
+		Store:     store,
+		LookupPSK: func(uint64) ([]byte, bool) { return psk, true },
+		conns:     map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.HandleConn(nc)
+	}
+}
+
+// HandleConn authenticates one device connection and serves its requests
+// until it disconnects. Exported so tests and in-process wiring can drive
+// a single net.Pipe end without a listener.
+func (s *Server) HandleConn(nc net.Conn) {
+	defer nc.Close()
+	conn, deviceID, err := nvmeoe.ServerHandshake(nc, s.LookupPSK)
+	if err != nil {
+		return
+	}
+	for {
+		typ, body, err := conn.ReadMsg()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, net.ErrClosed) {
+				// Transport-integrity failures terminate the session;
+				// the device will reconnect and resume from the acked
+				// sequence.
+				_ = err
+			}
+			return
+		}
+		if err := s.dispatch(conn, deviceID, typ, body); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(conn *nvmeoe.Conn, deviceID uint64, typ nvmeoe.MsgType, body []byte) error {
+	switch typ {
+	case nvmeoe.MsgSegment:
+		seg, err := oplog.UnmarshalSegment(body)
+		if err != nil {
+			return sendErr(conn, CodeBadData, err)
+		}
+		if seg.DeviceID != deviceID {
+			return sendErr(conn, CodeBadData, fmt.Errorf("segment for device %d on session of device %d", seg.DeviceID, deviceID))
+		}
+		if err := s.Store.AppendSegment(seg); err != nil {
+			return sendErr(conn, CodeBadData, err)
+		}
+		return conn.WriteMsg(nvmeoe.MsgSegmentAck, (&nvmeoe.Ack{UpTo: seg.LastSeq}).Marshal())
+
+	case nvmeoe.MsgCheckpoint:
+		cp, err := nvmeoe.UnmarshalCheckpoint(body)
+		if err != nil {
+			return sendErr(conn, CodeBadData, err)
+		}
+		if err := s.Store.AppendCheckpoint(deviceID, cp); err != nil {
+			return sendErr(conn, CodeInternal, err)
+		}
+		return conn.WriteMsg(nvmeoe.MsgCheckpointAck, (&nvmeoe.Ack{UpTo: cp.Seq}).Marshal())
+
+	case nvmeoe.MsgFetch:
+		req, err := nvmeoe.UnmarshalFetchReq(body)
+		if err != nil {
+			return sendErr(conn, CodeBadData, err)
+		}
+		return s.serveFetch(conn, deviceID, req)
+
+	default:
+		return sendErr(conn, CodeBadData, fmt.Errorf("unexpected message type %v", typ))
+	}
+}
+
+func (s *Server) serveFetch(conn *nvmeoe.Conn, deviceID uint64, req nvmeoe.FetchReq) error {
+	switch req.Kind {
+	case nvmeoe.FetchEntries:
+		seg := &oplog.Segment{DeviceID: deviceID, Entries: s.Store.Entries(deviceID, req.From, req.To)}
+		return conn.WriteMsg(nvmeoe.MsgFetchResp, seg.Marshal())
+	case nvmeoe.FetchVersion:
+		seg := &oplog.Segment{DeviceID: deviceID}
+		if rec, ok := s.Store.Version(deviceID, req.LPN, req.Before); ok {
+			seg.Pages = []oplog.PageRecord{rec}
+		}
+		return conn.WriteMsg(nvmeoe.MsgFetchResp, seg.Marshal())
+	case nvmeoe.FetchImage:
+		seg := &oplog.Segment{DeviceID: deviceID, Pages: s.Store.Image(deviceID, req.Before)}
+		return conn.WriteMsg(nvmeoe.MsgFetchResp, seg.Marshal())
+	case nvmeoe.FetchCheckpoint:
+		cp, ok := s.Store.Checkpoint(deviceID, req.Before)
+		if !ok {
+			return sendErr(conn, CodeNotFound, errors.New("no checkpoint"))
+		}
+		return conn.WriteMsg(nvmeoe.MsgFetchResp, cp.Marshal())
+	case nvmeoe.FetchHead:
+		h := s.Store.Head(deviceID)
+		return conn.WriteMsg(nvmeoe.MsgFetchResp, h.Marshal())
+	default:
+		return sendErr(conn, CodeBadData, fmt.Errorf("unknown fetch kind %d", req.Kind))
+	}
+}
+
+func sendErr(conn *nvmeoe.Conn, code uint32, err error) error {
+	return conn.WriteMsg(nvmeoe.MsgError, (&nvmeoe.ErrorMsg{Code: code, Text: err.Error()}).Marshal())
+}
+
+// Client is the device-side handle to a remote server session. Calls are
+// synchronous request/response, matching the single-queue offload engine.
+type Client struct {
+	mu   sync.Mutex
+	conn *nvmeoe.Conn
+}
+
+// Dial authenticates over nc and returns a client.
+func Dial(nc net.Conn, psk []byte, deviceID uint64) (*Client, error) {
+	conn, err := nvmeoe.DeviceHandshake(nc, psk, deviceID)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close tears down the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RemoteError is a server-reported failure.
+type RemoteError struct {
+	Code uint32
+	Text string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote: server error %d: %s", e.Code, e.Text) }
+
+func (c *Client) roundTrip(t nvmeoe.MsgType, payload []byte, wantResp nvmeoe.MsgType) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.conn.WriteMsg(t, payload); err != nil {
+		return nil, err
+	}
+	typ, body, err := c.conn.ReadMsg()
+	if err != nil {
+		return nil, err
+	}
+	if typ == nvmeoe.MsgError {
+		em, err := nvmeoe.UnmarshalErrorMsg(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &RemoteError{Code: em.Code, Text: em.Text}
+	}
+	if typ != wantResp {
+		return nil, fmt.Errorf("remote: unexpected response %v, want %v", typ, wantResp)
+	}
+	return body, nil
+}
+
+// PushSegment ships one segment and waits for the durability ack.
+func (c *Client) PushSegment(seg *oplog.Segment) error {
+	body, err := c.roundTrip(nvmeoe.MsgSegment, seg.Marshal(), nvmeoe.MsgSegmentAck)
+	if err != nil {
+		return err
+	}
+	ack, err := nvmeoe.UnmarshalAck(body)
+	if err != nil {
+		return err
+	}
+	if ack.UpTo != seg.LastSeq {
+		return fmt.Errorf("remote: ack up to %d, want %d", ack.UpTo, seg.LastSeq)
+	}
+	return nil
+}
+
+// PushCheckpoint ships one mapping snapshot and waits for the ack.
+func (c *Client) PushCheckpoint(cp *nvmeoe.Checkpoint) error {
+	_, err := c.roundTrip(nvmeoe.MsgCheckpoint, cp.Marshal(), nvmeoe.MsgCheckpointAck)
+	return err
+}
+
+// FetchEntries retrieves log entries with from <= Seq < to.
+func (c *Client) FetchEntries(from, to uint64) ([]oplog.Entry, error) {
+	req := nvmeoe.FetchReq{Kind: nvmeoe.FetchEntries, From: from, To: to}
+	body, err := c.roundTrip(nvmeoe.MsgFetch, req.Marshal(), nvmeoe.MsgFetchResp)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := oplog.UnmarshalSegment(body)
+	if err != nil {
+		return nil, err
+	}
+	return seg.Entries, nil
+}
+
+// FetchVersion retrieves the newest retained version of lpn written before
+// the given sequence, reporting ok=false when none is stored.
+func (c *Client) FetchVersion(lpn, before uint64) (oplog.PageRecord, bool, error) {
+	req := nvmeoe.FetchReq{Kind: nvmeoe.FetchVersion, LPN: lpn, Before: before}
+	body, err := c.roundTrip(nvmeoe.MsgFetch, req.Marshal(), nvmeoe.MsgFetchResp)
+	if err != nil {
+		return oplog.PageRecord{}, false, err
+	}
+	seg, err := oplog.UnmarshalSegment(body)
+	if err != nil {
+		return oplog.PageRecord{}, false, err
+	}
+	if len(seg.Pages) == 0 {
+		return oplog.PageRecord{}, false, nil
+	}
+	return seg.Pages[0], true, nil
+}
+
+// FetchImage retrieves the newest retained version of every LPN before the
+// given sequence.
+func (c *Client) FetchImage(before uint64) ([]oplog.PageRecord, error) {
+	req := nvmeoe.FetchReq{Kind: nvmeoe.FetchImage, Before: before}
+	body, err := c.roundTrip(nvmeoe.MsgFetch, req.Marshal(), nvmeoe.MsgFetchResp)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := oplog.UnmarshalSegment(body)
+	if err != nil {
+		return nil, err
+	}
+	return seg.Pages, nil
+}
+
+// FetchCheckpoint retrieves the newest checkpoint at or before the given
+// sequence.
+func (c *Client) FetchCheckpoint(before uint64) (nvmeoe.Checkpoint, bool, error) {
+	req := nvmeoe.FetchReq{Kind: nvmeoe.FetchCheckpoint, Before: before}
+	body, err := c.roundTrip(nvmeoe.MsgFetch, req.Marshal(), nvmeoe.MsgFetchResp)
+	var re *RemoteError
+	if errors.As(err, &re) && re.Code == CodeNotFound {
+		return nvmeoe.Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return nvmeoe.Checkpoint{}, false, err
+	}
+	cp, err := nvmeoe.UnmarshalCheckpoint(body)
+	if err != nil {
+		return nvmeoe.Checkpoint{}, false, err
+	}
+	return cp, true, nil
+}
+
+// Head retrieves the remote chain state.
+func (c *Client) Head() (nvmeoe.Head, error) {
+	req := nvmeoe.FetchReq{Kind: nvmeoe.FetchHead}
+	body, err := c.roundTrip(nvmeoe.MsgFetch, req.Marshal(), nvmeoe.MsgFetchResp)
+	if err != nil {
+		return nvmeoe.Head{}, err
+	}
+	return nvmeoe.UnmarshalHead(body)
+}
+
+// Loopback wires a client to srv over an in-process pipe, starting a
+// handler goroutine. It is the standard way simulations attach a device to
+// its remote server without real networking.
+func Loopback(srv *Server, psk []byte, deviceID uint64) (*Client, error) {
+	dc, sc := net.Pipe()
+	go srv.HandleConn(sc)
+	return Dial(dc, psk, deviceID)
+}

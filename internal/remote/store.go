@@ -1,0 +1,299 @@
+package remote
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/nvmeoe"
+	"repro/internal/oplog"
+)
+
+// Store indexes offloaded segments per device. Segments must arrive in
+// time order with an unbroken hash chain — the ingest check is what turns
+// "a pile of blobs" into a trusted evidence chain.
+type Store struct {
+	mu      sync.RWMutex
+	blobs   ObjectStore
+	devices map[uint64]*deviceLog
+	// OnSegment, when set, is invoked after each accepted segment. The
+	// offloaded ransomware-detection pipeline (internal/detect) hooks in
+	// here, exactly as the paper runs detection on the remote server.
+	OnSegment func(deviceID uint64, seg *oplog.Segment)
+}
+
+type deviceLog struct {
+	entries     []oplog.Entry // contiguous from seq entriesBase
+	entriesBase uint64
+	nextSeq     uint64
+	headHash    [oplog.HashSize]byte
+	versions    map[uint64][]oplog.PageRecord // lpn -> records sorted by WriteSeq
+	checkpoints []nvmeoe.Checkpoint           // sorted by Seq
+	segKeys     []string
+	pageBytes   int64
+}
+
+// NewStore returns a Store persisting blobs to the given object store.
+func NewStore(blobs ObjectStore) *Store {
+	return &Store{blobs: blobs, devices: map[uint64]*deviceLog{}}
+}
+
+func (s *Store) dev(id uint64) *deviceLog {
+	d, ok := s.devices[id]
+	if !ok {
+		d = &deviceLog{versions: map[uint64][]oplog.PageRecord{}}
+		s.devices[id] = d
+	}
+	return d
+}
+
+// AppendSegment verifies and ingests one offloaded segment: page hashes
+// must match, and the entries must extend the device's chain exactly.
+func (s *Store) AppendSegment(seg *oplog.Segment) error {
+	if err := seg.VerifyPages(); err != nil {
+		return fmt.Errorf("remote: reject segment: %w", err)
+	}
+	s.mu.Lock()
+	d := s.dev(seg.DeviceID)
+	if len(seg.Entries) > 0 {
+		if seg.Entries[0].Seq != d.nextSeq {
+			s.mu.Unlock()
+			return fmt.Errorf("remote: segment starts at seq %d, chain is at %d", seg.Entries[0].Seq, d.nextSeq)
+		}
+		if err := oplog.VerifyChain(seg.Entries, d.headHash); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("remote: reject segment: %w", err)
+		}
+	}
+	key := fmt.Sprintf("dev/%d/seg/%020d", seg.DeviceID, d.nextSeq)
+	blob := seg.Marshal()
+	if err := s.blobs.Put(key, blob); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("remote: persist segment: %w", err)
+	}
+	if n := len(seg.Entries); n > 0 {
+		d.entries = append(d.entries, seg.Entries...)
+		d.nextSeq = seg.Entries[n-1].Seq + 1
+		d.headHash = seg.Entries[n-1].Hash
+	}
+	for _, p := range seg.Pages {
+		d.versions[p.LPN] = insertVersion(d.versions[p.LPN], p)
+		d.pageBytes += int64(len(p.Data))
+	}
+	d.segKeys = append(d.segKeys, key)
+	cb := s.OnSegment
+	s.mu.Unlock()
+	if cb != nil {
+		cb(seg.DeviceID, seg)
+	}
+	return nil
+}
+
+// insertVersion keeps the per-LPN version list sorted by WriteSeq.
+// Segments arrive in time order so appends are the common case.
+func insertVersion(vs []oplog.PageRecord, p oplog.PageRecord) []oplog.PageRecord {
+	if n := len(vs); n == 0 || vs[n-1].WriteSeq <= p.WriteSeq {
+		return append(vs, p)
+	}
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].WriteSeq > p.WriteSeq })
+	vs = append(vs, oplog.PageRecord{})
+	copy(vs[i+1:], vs[i:])
+	vs[i] = p
+	return vs
+}
+
+// AppendCheckpoint stores a mapping snapshot.
+func (s *Store) AppendCheckpoint(deviceID uint64, cp nvmeoe.Checkpoint) error {
+	key := fmt.Sprintf("dev/%d/cp/%020d", deviceID, cp.Seq)
+	if err := s.blobs.Put(key, cp.Marshal()); err != nil {
+		return fmt.Errorf("remote: persist checkpoint: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dev(deviceID)
+	d.checkpoints = append(d.checkpoints, cp)
+	sort.Slice(d.checkpoints, func(i, j int) bool { return d.checkpoints[i].Seq < d.checkpoints[j].Seq })
+	return nil
+}
+
+// Entries returns stored entries with from <= Seq < to.
+func (s *Store) Entries(deviceID, from, to uint64) []oplog.Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[deviceID]
+	if !ok {
+		return nil
+	}
+	if to > d.nextSeq {
+		to = d.nextSeq
+	}
+	if from < d.entriesBase {
+		from = d.entriesBase
+	}
+	if from >= to {
+		return nil
+	}
+	out := make([]oplog.Entry, to-from)
+	copy(out, d.entries[from-d.entriesBase:to-d.entriesBase])
+	return out
+}
+
+// Version returns the newest retained version of lpn written strictly
+// before sequence before.
+func (s *Store) Version(deviceID, lpn, before uint64) (oplog.PageRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[deviceID]
+	if !ok {
+		return oplog.PageRecord{}, false
+	}
+	vs := d.versions[lpn]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].WriteSeq >= before })
+	if i == 0 {
+		return oplog.PageRecord{}, false
+	}
+	return vs[i-1], true
+}
+
+// Image returns, for every LPN with a retained version written before the
+// given sequence, that newest version — a full point-in-time snapshot of
+// the offloaded history.
+func (s *Store) Image(deviceID, before uint64) []oplog.PageRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[deviceID]
+	if !ok {
+		return nil
+	}
+	var out []oplog.PageRecord
+	for _, vs := range d.versions {
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].WriteSeq >= before })
+		if i > 0 {
+			out = append(out, vs[i-1])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LPN < out[j].LPN })
+	return out
+}
+
+// Checkpoint returns the newest checkpoint with Seq <= before.
+func (s *Store) Checkpoint(deviceID, before uint64) (nvmeoe.Checkpoint, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[deviceID]
+	if !ok || len(d.checkpoints) == 0 {
+		return nvmeoe.Checkpoint{}, false
+	}
+	i := sort.Search(len(d.checkpoints), func(i int) bool { return d.checkpoints[i].Seq > before })
+	if i == 0 {
+		return nvmeoe.Checkpoint{}, false
+	}
+	return d.checkpoints[i-1], true
+}
+
+// Head returns the device's chain state: next expected sequence and the
+// hash of the last accepted entry.
+func (s *Store) Head(deviceID uint64) nvmeoe.Head {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[deviceID]
+	if !ok {
+		return nvmeoe.Head{}
+	}
+	return nvmeoe.Head{NextSeq: d.nextSeq, Hash: d.headHash}
+}
+
+// Stats summarizes a device's remote footprint.
+type Stats struct {
+	Segments    int
+	Entries     int
+	Versions    int
+	PageBytes   int64
+	Checkpoints int
+}
+
+// DeviceStats returns the remote footprint of one device.
+func (s *Store) DeviceStats(deviceID uint64) Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[deviceID]
+	if !ok {
+		return Stats{}
+	}
+	nv := 0
+	for _, vs := range d.versions {
+		nv += len(vs)
+	}
+	return Stats{
+		Segments:    len(d.segKeys),
+		Entries:     len(d.entries),
+		Versions:    nv,
+		PageBytes:   d.pageBytes,
+		Checkpoints: len(d.checkpoints),
+	}
+}
+
+// Reload rebuilds the in-memory indexes from the object store. It verifies
+// the full chain as it goes, so a tampered blob store is detected. This is
+// the durability story: the index is a cache; the blobs are the truth.
+func (s *Store) Reload() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys, err := s.blobs.List("dev/")
+	if err != nil {
+		return err
+	}
+	s.devices = map[uint64]*deviceLog{}
+	sort.Strings(keys) // seg keys are zero-padded by seq: lexical == numeric
+	for _, key := range keys {
+		var devID uint64
+		var seq uint64
+		if n, _ := fmt.Sscanf(key, "dev/%d/seg/%d", &devID, &seq); n == 2 {
+			blob, err := s.blobs.Get(key)
+			if err != nil {
+				return err
+			}
+			seg, err := oplog.UnmarshalSegment(blob)
+			if err != nil {
+				return fmt.Errorf("remote: reload %s: %w", key, err)
+			}
+			if err := seg.VerifyPages(); err != nil {
+				return fmt.Errorf("remote: reload %s: %w", key, err)
+			}
+			d := s.dev(seg.DeviceID)
+			if len(seg.Entries) > 0 {
+				if seg.Entries[0].Seq != d.nextSeq {
+					return fmt.Errorf("remote: reload %s: chain gap at %d", key, d.nextSeq)
+				}
+				if err := oplog.VerifyChain(seg.Entries, d.headHash); err != nil {
+					return fmt.Errorf("remote: reload %s: %w", key, err)
+				}
+				d.entries = append(d.entries, seg.Entries...)
+				d.nextSeq = seg.Entries[len(seg.Entries)-1].Seq + 1
+				d.headHash = seg.Entries[len(seg.Entries)-1].Hash
+			}
+			for _, p := range seg.Pages {
+				d.versions[p.LPN] = insertVersion(d.versions[p.LPN], p)
+				d.pageBytes += int64(len(p.Data))
+			}
+			d.segKeys = append(d.segKeys, key)
+			continue
+		}
+		if n, _ := fmt.Sscanf(key, "dev/%d/cp/%d", &devID, &seq); n == 2 {
+			blob, err := s.blobs.Get(key)
+			if err != nil {
+				return err
+			}
+			cp, err := nvmeoe.UnmarshalCheckpoint(blob)
+			if err != nil {
+				return fmt.Errorf("remote: reload %s: %w", key, err)
+			}
+			d := s.dev(devID)
+			d.checkpoints = append(d.checkpoints, cp)
+		}
+	}
+	for _, d := range s.devices {
+		sort.Slice(d.checkpoints, func(i, j int) bool { return d.checkpoints[i].Seq < d.checkpoints[j].Seq })
+	}
+	return nil
+}
