@@ -11,11 +11,15 @@
 //	rssdbench -exp offload    # NVMe-oE offload cost
 //	rssdbench -exp detection  # detection coverage/latency, six variants
 //	rssdbench -exp attacks    # Ransomware 2.0 validation vs. LocalSSD
+//	rssdbench -exp batch      # batched vs per-op datapath replay
 //
 // -scale small uses the test-sized configuration for a quick pass.
+// -json additionally writes each experiment's rows to BENCH_<name>.json
+// so successive runs can be diffed to track the performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +29,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, attacks)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, detection, attacks, batch)")
 	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
+	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_<name>.json per experiment")
 	flag.Parse()
 
 	var s experiment.Scale
@@ -38,6 +43,29 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	// persist writes one experiment's rows as BENCH_<name>.json when -json
+	// is set, so future sessions can track the perf trajectory machine-
+	// readably instead of scraping tables.
+	persist := func(name string, rows any) error {
+		if !*jsonOut {
+			return nil
+		}
+		blob, err := json.MarshalIndent(map[string]any{
+			"experiment": name,
+			"scale":      *scaleFlag,
+			"rows":       rows,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("BENCH_%s.json", name)
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("    wrote %s\n", path)
+		return nil
 	}
 
 	run := func(name string, f func() error) {
@@ -60,7 +88,7 @@ func main() {
 		}
 		fmt.Println("Figure 2 — data retention time (days) on a 512 GiB SSD, 7% OP, 1 TiB remote budget")
 		fmt.Print(experiment.RenderFig2(rows))
-		return nil
+		return persist("fig2", rows)
 	})
 
 	run("table1", func() error {
@@ -70,7 +98,7 @@ func main() {
 		}
 		fmt.Println("Table 1 — defense matrix (attack replays; recovery graded none/partial/full)")
 		fmt.Print(experiment.RenderDefenseMatrix(cells))
-		return nil
+		return persist("table1", cells)
 	})
 
 	run("perf", func() error {
@@ -80,7 +108,7 @@ func main() {
 		}
 		fmt.Println("Claim P1 — storage performance overhead (trace-paced replay)")
 		fmt.Print(experiment.RenderPerf(rows))
-		return nil
+		return persist("perf", rows)
 	})
 
 	run("lifetime", func() error {
@@ -90,7 +118,7 @@ func main() {
 		}
 		fmt.Println("Claim P2 — write amplification / device lifetime")
 		fmt.Print(experiment.RenderLifetime(rows))
-		return nil
+		return persist("lifetime", rows)
 	})
 
 	run("recovery", func() error {
@@ -100,7 +128,7 @@ func main() {
 		}
 		fmt.Println("Claim P3 — post-attack data recovery speed")
 		fmt.Print(experiment.RenderRecovery(rows))
-		return nil
+		return persist("recovery", rows)
 	})
 
 	run("forensics", func() error {
@@ -110,7 +138,7 @@ func main() {
 		}
 		fmt.Println("Claim P4 — trusted evidence chain construction")
 		fmt.Print(experiment.RenderForensics(rows))
-		return nil
+		return persist("forensics", rows)
 	})
 
 	run("offload", func() error {
@@ -120,7 +148,7 @@ func main() {
 		}
 		fmt.Println("NVMe-oE offload cost and retention backlog")
 		fmt.Print(experiment.RenderOffload(rows))
-		return nil
+		return persist("offload", rows)
 	})
 
 	run("detection", func() error {
@@ -130,7 +158,17 @@ func main() {
 		}
 		fmt.Println("Offloaded detection — coverage and latency across six attack variants")
 		fmt.Print(experiment.RenderDetection(rows))
-		return nil
+		return persist("detection", rows)
+	})
+
+	run("batch", func() error {
+		rows, err := experiment.BatchReplay(s, []string{"hm", "src", "web"})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Batched datapath — per-op vs submission-batch replay (wall = host overhead, sim = channel parallelism)")
+		fmt.Print(experiment.RenderBatchReplay(rows))
+		return persist("batch", rows)
 	})
 
 	run("attacks", func() error {
@@ -140,6 +178,6 @@ func main() {
 		}
 		fmt.Println("Ransomware 2.0 validation — attacks vs. an unprotected LocalSSD")
 		fmt.Print(experiment.RenderValidation(rows))
-		return nil
+		return persist("attacks", rows)
 	})
 }

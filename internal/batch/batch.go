@@ -1,0 +1,83 @@
+// Package batch defines the wire types of the batched datapath: the
+// submission-batch operations and completions every layer of the stack
+// (host filesystem, NVMe controller, RSSD core, bare FTL) exchanges.
+//
+// The paper's prototype gets its performance from device-level parallelism
+// — multiple NAND channels, a deep NVMe queue — which a strictly per-op
+// interface can never express: each call completes before the next is
+// issued, so the device sees a queue depth of one. An Op slice is the host
+// handing the device a whole submission window at once; the device is free
+// to schedule it across channels and amortize per-op costs (locking, log
+// sealing, retention checks) over the batch.
+//
+// The package sits below every other layer (it depends only on simclock)
+// so that devices (internal/ftl, internal/core) and consumers
+// (internal/host, internal/nvme, internal/experiment) can share the types
+// without import cycles.
+package batch
+
+import "repro/internal/simclock"
+
+// Kind enumerates batched block operations.
+type Kind uint8
+
+// Batched operation kinds.
+const (
+	OpWrite Kind = iota + 1
+	OpRead
+	OpTrim
+)
+
+// Op is one page-granular operation within a submission batch.
+type Op struct {
+	Kind Kind
+	LPN  uint64
+	Data []byte // write payload (exactly one page); nil for reads/trims
+}
+
+// Result is the completion for one Op, aligned by index.
+type Result struct {
+	Data []byte        // read payload
+	Done simclock.Time // simulated completion time of this operation
+	Err  error         // per-op failure (bad size, out of range); nil on success
+}
+
+// Device accepts submission batches. SubmitBatch applies ops in submission
+// order with respect to state (a read after a write to the same page sees
+// the new data) while letting the device overlap operations on independent
+// hardware resources. It returns per-op results, the completion time of
+// the whole batch, and a batch-level error for failures that abort the
+// remainder of the batch (device full, I/O error); per-op validation
+// failures land in the matching Result instead and do not stop the batch.
+type Device interface {
+	SubmitBatch(ops []Op, at simclock.Time) ([]Result, simclock.Time, error)
+}
+
+// ForEachRun segments ops into maximal runs of the same kind and calls fn
+// for each, in order, stopping at the first error. Devices use it to
+// dispatch a mixed batch kind by kind while keeping state changes in
+// submission order.
+func ForEachRun(ops []Op, fn func(start, end int, kind Kind) error) error {
+	for start := 0; start < len(ops); {
+		end := start + 1
+		for end < len(ops) && ops[end].Kind == ops[start].Kind {
+			end++
+		}
+		if err := fn(start, end, ops[start].Kind); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// SubmitOne adapts a single per-op call onto a Device: the per-op methods
+// of batch-capable devices are thin wrappers over one-element batches, and
+// this helper is that wrapper.
+func SubmitOne(dev Device, op Op, at simclock.Time) (Result, simclock.Time, error) {
+	res, done, err := dev.SubmitBatch([]Op{op}, at)
+	if err != nil {
+		return Result{Done: at, Err: err}, done, err
+	}
+	return res[0], done, nil
+}

@@ -14,9 +14,10 @@ const maxEntriesPerSegment = 4096
 
 // maybeOffload drains retained pages to the remote server when they exceed
 // the high watermark of the local retention budget. The drain is modeled as
-// background work: its flash reads occupy chips (delaying later host I/O on
-// those chips, which is the real contention cost) but the network transfer
-// itself rides the dedicated NVMe-oE engine off the host path.
+// background work: its flash reads ride the NAND background lane (the
+// dedicated offload engine reads in host idle gaps, yielding the chip to
+// host traffic the way read-suspend does), and the network transfer rides
+// the dedicated NVMe-oE engine off the host path.
 func (r *RSSD) maybeOffload(at simclock.Time) (simclock.Time, error) {
 	budget := r.retentionBudget()
 	high := int(r.cfg.OffloadHighWater * float64(budget))
@@ -148,7 +149,9 @@ func (r *RSSD) shipSegment(batch []*retEntry, at simclock.Time) error {
 	}
 	start := at
 	for _, re := range batch {
-		data, _, done, err := r.f.ReadPhysical(re.ppn, at)
+		// Background lane: the offload engine's flash reads fill host idle
+		// gaps (read-suspend priority) rather than delaying host I/O.
+		data, _, done, err := r.f.ReadPhysicalBackground(re.ppn, at)
 		if err != nil {
 			return fmt.Errorf("core: read retained ppn %d: %w", re.ppn, err)
 		}

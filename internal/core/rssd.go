@@ -23,7 +23,7 @@ package core
 import (
 	"errors"
 
-	"repro/internal/entropy"
+	"repro/internal/batch"
 	"repro/internal/ftl"
 	"repro/internal/oplog"
 	"repro/internal/remote"
@@ -87,6 +87,10 @@ type Stats struct {
 	PressureEvents    uint64
 	OffloadErrors     uint64            // background offload failures (retried)
 	OffloadLatency    simclock.Duration // simulated device time spent in synchronous offload
+	// LastOffloadError is the most recent background offload/checkpoint
+	// failure ("" when the last attempt succeeded) — the SMART-log style
+	// surfacing of errors that never reach host I/O.
+	LastOffloadError string
 }
 
 // retEntry tracks one locally retained stale page version.
@@ -178,6 +182,9 @@ func (r *RSSD) DeviceID() uint64 { return r.cfg.DeviceID }
 func (r *RSSD) Stats() Stats {
 	s := r.stats
 	s.RetainedNow = len(r.retained)
+	if r.lastOffloadErr != nil {
+		s.LastOffloadError = r.lastOffloadErr.Error()
+	}
 	return s
 }
 
@@ -191,76 +198,69 @@ func (r *RSSD) LogicalPages() uint64 { return r.f.LogicalPages() }
 func (r *RSSD) retentionBudget() int { return r.f.RetentionBudgetPages() }
 
 // Write stores one page and logs the operation. The old version, if any,
-// is retained.
+// is retained. It is a thin wrapper over a one-element submission batch;
+// bulk callers should use SubmitBatch directly.
 func (r *RSSD) Write(lpn uint64, data []byte, at simclock.Time) (simclock.Time, error) {
-	if len(data) != r.f.PageSize() {
-		return at, ftl.ErrBadPageSize
-	}
-	if lpn >= r.f.LogicalPages() {
-		return at, ftl.ErrOutOfRange
-	}
-	oldPPN := r.f.Lookup(lpn)
-	ent := float32(entropy.Sampled(data, 512))
-	e := r.log.Append(oplog.KindWrite, at, lpn, oldPPN, ftl.NoPPN, ent, oplog.HashData(data))
-	r.curStaleSeq, r.curStaleAt = e.Seq, at
-	done, err := r.f.WriteWithSeq(lpn, data, e.Seq, at)
+	res, done, err := batch.SubmitOne(r, Op{Kind: OpWrite, LPN: lpn, Data: data}, at)
 	if err != nil {
 		return done, err
 	}
-	r.lpnWriteSeq[lpn] = e.Seq
-	r.stats.HostWrites++
-	return r.afterOp(done)
+	if res.Err != nil {
+		return res.Done, res.Err
+	}
+	return done, nil
 }
 
 // Read returns the current contents of lpn, logging a sampled read entry.
+// It is a thin wrapper over a one-element submission batch.
 func (r *RSSD) Read(lpn uint64, at simclock.Time) ([]byte, simclock.Time, error) {
-	data, done, err := r.f.Read(lpn, at)
+	res, done, err := batch.SubmitOne(r, Op{Kind: OpRead, LPN: lpn}, at)
 	if err != nil {
 		return nil, done, err
 	}
-	r.stats.HostReads++
-	if n := r.cfg.ReadLogSampling; n > 0 {
-		r.readCounter++
-		if r.readCounter%uint64(n) == 0 {
-			r.log.Append(oplog.KindRead, at, lpn, r.f.Lookup(lpn), ftl.NoPPN, 0, [oplog.HashSize]byte{})
-		}
+	if res.Err != nil {
+		return nil, res.Done, res.Err
 	}
-	return data, done, nil
+	return res.Data, done, nil
 }
 
 // Trim invalidates lpn. With enhanced trim (the default) the stale data is
 // retained exactly like an overwritten version; the logical page reads as
 // zeroes afterwards. The paper describes this as remapping the trimmed
 // address to fresh pages — retaining the old pages and serving zeroes is
-// the same observable behaviour without burning erased pages.
+// the same observable behaviour without burning erased pages. It is a thin
+// wrapper over a one-element submission batch.
 func (r *RSSD) Trim(lpn uint64, at simclock.Time) (simclock.Time, error) {
-	if lpn >= r.f.LogicalPages() {
-		return at, ftl.ErrOutOfRange
-	}
-	oldPPN := r.f.Lookup(lpn)
-	e := r.log.Append(oplog.KindTrim, at, lpn, oldPPN, ftl.NoPPN, 0, [oplog.HashSize]byte{})
-	r.curStaleSeq, r.curStaleAt = e.Seq, at
-	done, err := r.f.Trim(lpn, at)
+	res, done, err := batch.SubmitOne(r, Op{Kind: OpTrim, LPN: lpn}, at)
 	if err != nil {
 		return done, err
 	}
-	if oldPPN != ftl.NoPPN {
-		r.lpnWriteSeq[lpn] = NoSeq
+	if res.Err != nil {
+		return res.Done, res.Err
 	}
-	r.stats.HostTrims++
-	return r.afterOp(done)
+	return done, nil
 }
 
 // afterOp runs the background duties a firmware event loop interleaves
 // with host I/O: watermark-driven offload and periodic checkpoints.
 func (r *RSSD) afterOp(at simclock.Time) (simclock.Time, error) {
+	return r.afterOps(1, at)
+}
+
+// afterOps is afterOp amortized over a submission batch of n mutating
+// operations: one offload watermark check per batch, with checkpoint
+// accounting advanced by the batch size. A batch larger than
+// CheckpointEvery triggers a single checkpoint where per-op submission
+// would have triggered several — acceptable, since checkpoints only bound
+// recovery's log replay.
+func (r *RSSD) afterOps(n int, at simclock.Time) (simclock.Time, error) {
 	var err error
 	at, err = r.maybeOffload(at)
 	if err != nil {
 		return at, err
 	}
 	if r.cfg.CheckpointEvery > 0 {
-		r.opsSinceCP++
+		r.opsSinceCP += uint64(n)
 		if r.opsSinceCP >= r.cfg.CheckpointEvery {
 			r.opsSinceCP = 0
 			if at, err = r.CheckpointNow(at); err != nil {

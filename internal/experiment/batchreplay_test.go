@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchReplayAtLeastMatchesPerOp is the acceptance gate of the
+// batched datapath: replaying the same trace, the submission-batch path's
+// mean record latency (simulated, deterministic) must be no worse than
+// the per-op path's — and the NVMe multi-queue path must agree with the
+// direct batch path on the work done. Wall-clock speedup is reported by
+// the benchmark/rssdbench rather than asserted here, where scheduler
+// noise would make it flaky.
+func TestBatchReplayAtLeastMatchesPerOp(t *testing.T) {
+	rows, err := BatchReplay(SmallScale(), []string{"hm", "src"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PageOps == 0 {
+			t.Fatalf("%s: empty replay", r.Workload)
+		}
+		if r.LatSpeedup < 1 {
+			t.Errorf("%s: batched path has worse mean latency: %.3fx (per-op %.1fµs vs batch %.1fµs)",
+				r.Workload, r.LatSpeedup, r.PerOpMeanLatUs, r.BatchMeanLatUs)
+		}
+		if r.NVMeMeanLatUs <= 0 {
+			t.Errorf("%s: NVMe multi-queue replay measured no latency", r.Workload)
+		}
+	}
+	if out := RenderBatchReplay(rows); !strings.Contains(out, "lat speedup") {
+		t.Fatal("render broken")
+	}
+}

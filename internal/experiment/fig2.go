@@ -127,31 +127,15 @@ func fig2One(s Scale, prof workload.Profile) (RetentionRow, error) {
 	return row, nil
 }
 
-// replayRecord applies one trace record to an FTL, generating content for
-// writes from the workload's compressibility profile.
+// replayRecord applies one trace record to an FTL as one submission
+// batch dispatched at trace arrival time, generating content for writes
+// from the workload's compressibility profile.
 func replayRecord(f *ftl.FTL, g *workload.Generator, rec workload.Record, at *simclock.Time) error {
-	issue := simclock.Max(rec.At, *at)
-	for p := 0; p < rec.Pages; p++ {
-		lpn := rec.LPN + uint64(p)
-		if lpn >= f.LogicalPages() {
-			break
-		}
-		var err error
-		var done simclock.Time
-		switch rec.Op {
-		case workload.OpWrite:
-			done, err = f.Write(lpn, g.Content(), issue)
-		case workload.OpRead:
-			_, done, err = f.Read(lpn, issue)
-		case workload.OpTrim:
-			done, err = f.Trim(lpn, issue)
-		}
-		if err != nil {
-			return err
-		}
-		issue = done
+	done, err := submitRecord(f, recordBatch(g, rec, f.LogicalPages(), nil), rec.At)
+	if err != nil {
+		return err
 	}
-	*at = issue
+	*at = simclock.Max(*at, done)
 	return nil
 }
 

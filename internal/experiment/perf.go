@@ -3,7 +3,9 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/ftl"
+	"repro/internal/host"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -41,12 +43,10 @@ func PerfOverhead(s Scale, workloads []string) ([]PerfRow, error) {
 	return rows, nil
 }
 
-// perfDevice abstracts the two systems for identical replay.
+// perfDevice abstracts the two systems for identical replay: any
+// batch-capable block device (plain FTL or RSSD).
 type perfDevice interface {
-	Write(lpn uint64, data []byte, at simclock.Time) (simclock.Time, error)
-	Read(lpn uint64, at simclock.Time) ([]byte, simclock.Time, error)
-	Trim(lpn uint64, at simclock.Time) (simclock.Time, error)
-	LogicalPages() uint64
+	host.BatchDevice
 }
 
 func perfOne(s Scale, prof workload.Profile) (PerfRow, error) {
@@ -56,34 +56,20 @@ func perfOne(s Scale, prof workload.Profile) (PerfRow, error) {
 		g := workload.NewGenerator(prof, s.PageSize, dev.LogicalPages(), 23)
 		hw := metrics.NewHistogram(0)
 		hr := metrics.NewHistogram(0)
-		var busy simclock.Time
+		var ops []batch.Op
 		for i := 0; i < s.TraceOps; i++ {
 			rec := g.Next()
-			// Requests arrive at trace time; if the device is still
-			// busy with earlier requests the new one queues.
-			issue := simclock.Max(rec.At, busy)
-			for p := 0; p < rec.Pages; p++ {
-				lpn := rec.LPN + uint64(p)
-				if lpn >= dev.LogicalPages() {
-					break
-				}
-				var done simclock.Time
-				var err error
-				switch rec.Op {
-				case workload.OpWrite:
-					done, err = dev.Write(lpn, g.Content(), issue)
-				case workload.OpRead:
-					_, done, err = dev.Read(lpn, issue)
-				case workload.OpTrim:
-					done, err = dev.Trim(lpn, issue)
-				}
-				if err != nil {
-					return nil, nil, err
-				}
-				issue = done
+			// Each record is one submission batch, dispatched at its trace
+			// arrival time: a deep multi-queue datapath accepts requests as
+			// they arrive, so queueing shows up as chip-level contention
+			// inside the device model rather than head-of-line blocking at
+			// the record level.
+			ops = recordBatch(g, rec, dev.LogicalPages(), ops[:0])
+			done, err := submitRecord(dev, ops, rec.At)
+			if err != nil {
+				return nil, nil, err
 			}
-			busy = issue
-			lat := issue.Sub(rec.At) // latency from arrival to completion
+			lat := done.Sub(rec.At) // latency from arrival to completion
 			switch rec.Op {
 			case workload.OpWrite:
 				hw.Observe(lat)
@@ -184,34 +170,17 @@ func LifetimeWAF(s Scale, workloads []string) ([]LifetimeRow, error) {
 	return rows, nil
 }
 
-// replayAll pushes a full generated trace through any perfDevice.
+// replayAll pushes a full generated trace through any perfDevice, one
+// submission batch per trace record, dispatched at trace arrival time.
 func replayAll(dev perfDevice, prof workload.Profile, s Scale, seed int64) error {
 	g := workload.NewGenerator(prof, s.PageSize, dev.LogicalPages(), seed)
-	var busy simclock.Time
+	var ops []batch.Op
 	for i := 0; i < s.TraceOps; i++ {
 		rec := g.Next()
-		issue := simclock.Max(rec.At, busy)
-		for p := 0; p < rec.Pages; p++ {
-			lpn := rec.LPN + uint64(p)
-			if lpn >= dev.LogicalPages() {
-				break
-			}
-			var done simclock.Time
-			var err error
-			switch rec.Op {
-			case workload.OpWrite:
-				done, err = dev.Write(lpn, g.Content(), issue)
-			case workload.OpRead:
-				_, done, err = dev.Read(lpn, issue)
-			case workload.OpTrim:
-				done, err = dev.Trim(lpn, issue)
-			}
-			if err != nil {
-				return err
-			}
-			issue = done
+		ops = recordBatch(g, rec, dev.LogicalPages(), ops[:0])
+		if _, err := submitRecord(dev, ops, rec.At); err != nil {
+			return err
 		}
-		busy = issue
 	}
 	return nil
 }

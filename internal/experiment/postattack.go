@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/batch"
 	"repro/internal/forensic"
 	"repro/internal/metrics"
 	"repro/internal/recovery"
@@ -187,33 +188,15 @@ func OffloadCost(s Scale, names []string) ([]OffloadRow, error) {
 			return nil, err
 		}
 		g := workload.NewGenerator(prof, s.PageSize, rig.Dev.LogicalPages(), 29)
-		var busy simclock.Time
+		var ops []batch.Op
 		maxBacklog := 0
 		for i := 0; i < s.TraceOps; i++ {
 			rec := g.Next()
-			issue := simclock.Max(rec.At, busy)
-			for p := 0; p < rec.Pages; p++ {
-				lpn := rec.LPN + uint64(p)
-				if lpn >= rig.Dev.LogicalPages() {
-					break
-				}
-				var done simclock.Time
-				var err error
-				switch rec.Op {
-				case workload.OpWrite:
-					done, err = rig.Dev.Write(lpn, g.Content(), issue)
-				case workload.OpRead:
-					_, done, err = rig.Dev.Read(lpn, issue)
-				case workload.OpTrim:
-					done, err = rig.Dev.Trim(lpn, issue)
-				}
-				if err != nil {
-					rig.Client.Close()
-					return nil, err
-				}
-				issue = done
+			ops = recordBatch(g, rec, rig.Dev.LogicalPages(), ops[:0])
+			if _, err := submitRecord(rig.Dev, ops, rec.At); err != nil {
+				rig.Client.Close()
+				return nil, err
 			}
-			busy = issue
 			if b := rig.Dev.Stats().RetainedNow; b > maxBacklog {
 				maxBacklog = b
 			}

@@ -197,9 +197,9 @@ type FTL struct {
 	dev  *nand.Device
 	ret  Retainer // may be nil (plain LocalSSD)
 
-	l2p    []uint64 // logical page -> PPN or NoPPN
-	rmap   []uint64 // PPN -> logical page or NoLPN
-	pinned []bool   // PPN -> pinned by retainer
+	l2p    *l2pTable // logical page -> PPN or NoPPN, sharded by LPN
+	rmap   []uint64  // PPN -> logical page or NoLPN
+	pinned []bool    // PPN -> pinned by retainer
 
 	blocks    []blockInfo
 	freeList  []uint64
@@ -245,15 +245,12 @@ func Attach(cfg Config, dev *nand.Device, retainer Retainer) *FTL {
 		geo:          g,
 		dev:          dev,
 		ret:          retainer,
-		l2p:          make([]uint64, uint64(logicalBlocks)*uint64(g.PagesPerBlock)),
+		l2p:          newL2P(uint64(logicalBlocks) * uint64(g.PagesPerBlock)),
 		rmap:         make([]uint64, g.TotalPages()),
 		pinned:       make([]bool, g.TotalPages()),
 		blocks:       make([]blockInfo, g.TotalBlocks()),
 		logicalPages: uint64(logicalBlocks) * uint64(g.PagesPerBlock),
 		zeroPage:     make([]byte, g.PageSize),
-	}
-	for i := range f.l2p {
-		f.l2p[i] = NoPPN
 	}
 	for i := range f.rmap {
 		f.rmap[i] = NoLPN
@@ -325,15 +322,27 @@ func (f *FTL) Lookup(lpn uint64) uint64 {
 	if lpn >= f.logicalPages {
 		return NoPPN
 	}
-	return f.l2p[lpn]
+	return f.l2p.get(lpn)
+}
+
+// LookupBatch resolves a group of LPNs against the sharded mapping table
+// in one call. Out-of-range LPNs resolve to NoPPN, like Lookup.
+func (f *FTL) LookupBatch(lpns []uint64) []uint64 {
+	out := make([]uint64, len(lpns))
+	for i, lpn := range lpns {
+		if lpn >= f.logicalPages {
+			out[i] = NoPPN
+		} else {
+			out[i] = f.l2p.get(lpn)
+		}
+	}
+	return out
 }
 
 // SnapshotL2P returns a copy of the logical-to-physical table. RSSD ships
 // these snapshots as checkpoints so recovery can bound log replay.
 func (f *FTL) SnapshotL2P() []uint64 {
-	out := make([]uint64, len(f.l2p))
-	copy(out, f.l2p)
-	return out
+	return f.l2p.snapshot()
 }
 
 // RetentionBudgetPages returns the number of physical pages beyond the
@@ -392,10 +401,10 @@ func (f *FTL) writeMapped(lpn uint64, data []byte, stream Stream, oob nand.OOB, 
 	if err != nil {
 		return at, fmt.Errorf("ftl: program ppn %d: %w", ppn, err)
 	}
-	if old := f.l2p[lpn]; old != NoPPN {
+	if old := f.l2p.get(lpn); old != NoPPN {
 		f.invalidate(lpn, old, CauseOverwrite, done)
 	}
-	f.l2p[lpn] = ppn
+	f.l2p.set(lpn, ppn)
 	f.rmap[ppn] = lpn
 	f.blocks[f.geo.BlockOf(ppn)].valid++
 	return done, nil
@@ -411,7 +420,7 @@ func (f *FTL) Read(lpn uint64, at simclock.Time) ([]byte, simclock.Time, error) 
 	if ro, ok := f.ret.(ReadObserver); ok {
 		ro.OnHostRead(lpn, at)
 	}
-	ppn := f.l2p[lpn]
+	ppn := f.l2p.get(lpn)
 	if ppn == NoPPN {
 		buf := make([]byte, f.geo.PageSize)
 		return buf, at, nil
@@ -433,11 +442,11 @@ func (f *FTL) Trim(lpn uint64, at simclock.Time) (simclock.Time, error) {
 		return at, ErrOutOfRange
 	}
 	f.stats.Trims++
-	ppn := f.l2p[lpn]
+	ppn := f.l2p.get(lpn)
 	if ppn == NoPPN {
 		return at, nil
 	}
-	f.l2p[lpn] = NoPPN
+	f.l2p.set(lpn, NoPPN)
 	f.invalidate(lpn, ppn, CauseTrim, at)
 	if f.cfg.EagerTrimErase {
 		b := f.geo.BlockOf(ppn)
@@ -479,10 +488,35 @@ func (f *FTL) ReadPhysical(ppn uint64, at simclock.Time) ([]byte, nand.OOB, simc
 	return f.dev.Read(ppn, at)
 }
 
+// ReadPhysicalBackground reads a physical page on the NAND background
+// lane: the hardware-isolated offload engine's reads, which yield the chip
+// to host traffic (see nand.Device.ReadBackground).
+func (f *FTL) ReadPhysicalBackground(ppn uint64, at simclock.Time) ([]byte, nand.OOB, simclock.Time, error) {
+	return f.dev.ReadBackground(ppn, at)
+}
+
 // allocPage returns the next free page on the stream's active block,
 // opening a new block (and running GC) as needed.
 func (f *FTL) allocPage(stream Stream, at simclock.Time) (uint64, simclock.Time, error) {
-	if !f.activeSet[stream] || f.nextPage[stream] >= f.geo.PagesPerBlock {
+	ppn, _, at, err := f.allocRun(stream, 1, at)
+	return ppn, at, err
+}
+
+// needsNewBlock reports whether the next allocation on stream has to open
+// a fresh block (and may therefore trigger garbage collection).
+func (f *FTL) needsNewBlock(stream Stream) bool {
+	return !f.activeSet[stream] || f.nextPage[stream] >= f.geo.PagesPerBlock
+}
+
+// allocRun reserves up to max consecutive pages on the stream's active
+// block, opening a new block (and running GC) only when the active block
+// is exhausted. It returns the first reserved PPN and the run length
+// (>= 1 on success); the run never spans blocks, so callers that want more
+// pages simply call again. Reserved pages MUST be programmed before the
+// stream's next block is opened — batch writers program each run before
+// allocating past it, keeping the NAND sequential-program invariant.
+func (f *FTL) allocRun(stream Stream, max int, at simclock.Time) (uint64, int, simclock.Time, error) {
+	if f.needsNewBlock(stream) {
 		if f.activeSet[stream] {
 			// Retire the filled block.
 			f.blocks[f.active[stream]].state = blockFull
@@ -491,11 +525,11 @@ func (f *FTL) allocPage(stream Stream, at simclock.Time) (uint64, simclock.Time,
 		var err error
 		at, err = f.maybeGC(at)
 		if err != nil {
-			return 0, at, err
+			return 0, 0, at, err
 		}
 		blk, err := f.takeFreeBlock()
 		if err != nil {
-			return 0, at, err
+			return 0, 0, at, err
 		}
 		f.active[stream] = blk
 		f.activeSet[stream] = true
@@ -504,9 +538,13 @@ func (f *FTL) allocPage(stream Stream, at simclock.Time) (uint64, simclock.Time,
 		f.blocks[blk].state = blockActive
 		f.blocks[blk].allocSeq = f.allocSeq
 	}
+	n := f.geo.PagesPerBlock - f.nextPage[stream]
+	if n > max {
+		n = max
+	}
 	ppn := f.geo.PPN(f.active[stream], f.nextPage[stream])
-	f.nextPage[stream]++
-	return ppn, at, nil
+	f.nextPage[stream] += n
+	return ppn, n, at, nil
 }
 
 // takeFreeBlock removes and returns the coldest (least-worn) free block,

@@ -111,81 +111,84 @@ func (f *FTL) pickVictim() (uint64, bool) {
 }
 
 // collect migrates the victim's live and pinned pages, then erases it.
+// Migrations run batched: one grouped read of every page to move (serial
+// on the victim's chip), then one grouped program through the per-channel
+// scheduler — relocation targets live on other chips' active blocks, so
+// the programs overlap across chips instead of serializing behind each
+// other the way per-page migration does. Blocks with nothing to move (the
+// common case under greedy GC) pay only the erase.
 func (f *FTL) collect(victim uint64, at simclock.Time) (simclock.Time, error) {
 	f.stats.GCRuns++
 	base := victim * uint64(f.geo.PagesPerBlock)
+	type migration struct {
+		oldPPN uint64
+		lpn    uint64
+		pinned bool
+	}
+	var migs []migration
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
 		ppn := base + uint64(i)
 		lpn := f.rmap[ppn]
 		switch {
-		case lpn != NoLPN && f.l2p[lpn] == ppn:
-			var err error
-			at, err = f.migrateValid(lpn, ppn, at)
-			if err != nil {
-				return at, err
-			}
+		case lpn != NoLPN && f.l2p.get(lpn) == ppn:
+			migs = append(migs, migration{oldPPN: ppn, lpn: lpn})
 		case f.pinned[ppn]:
-			var err error
-			at, err = f.migratePinned(ppn, at)
-			if err != nil {
-				return at, err
-			}
+			migs = append(migs, migration{oldPPN: ppn, lpn: lpn, pinned: true})
 		}
 	}
+	if len(migs) > 0 {
+		ppns := make([]uint64, len(migs))
+		for i := range migs {
+			ppns[i] = migs[i].oldPPN
+		}
+		data, oobs, _, readDone, err := f.dev.ReadBatch(ppns, at)
+		if err != nil {
+			return at, fmt.Errorf("ftl: gc read block %d: %w", victim, err)
+		}
+		// Allocate targets (straight from the free pool: GC must not
+		// recurse), then program them as one batch once every source page
+		// is in the controller's buffers.
+		progs := make([]nand.PageProgram, len(migs))
+		for i := range migs {
+			stream := StreamGC
+			if migs[i].pinned {
+				stream = StreamLog
+			}
+			newPPN, _, err := f.allocPageNoGC(stream)
+			if err != nil {
+				return readDone, err
+			}
+			progs[i] = nand.PageProgram{PPN: newPPN, Data: data[i], OOB: oobs[i]}
+		}
+		ts, progDone, err := f.dev.ProgramBatch(progs, readDone)
+		if err != nil {
+			return readDone, fmt.Errorf("ftl: gc program block %d: %w", victim, err)
+		}
+		for i := range migs {
+			m, newPPN := &migs[i], progs[i].PPN
+			if m.pinned {
+				f.pinned[m.oldPPN] = false
+				f.blocks[f.geo.BlockOf(m.oldPPN)].pinned--
+				f.pinned[newPPN] = true
+				f.blocks[f.geo.BlockOf(newPPN)].pinned++
+				f.rmap[newPPN] = m.lpn
+				f.rmap[m.oldPPN] = NoLPN
+				f.stats.PinMigrates++
+				if f.ret != nil {
+					f.ret.OnMigrate(m.lpn, m.oldPPN, newPPN, ts[i])
+				}
+			} else {
+				f.blocks[f.geo.BlockOf(m.oldPPN)].valid--
+				f.blocks[f.geo.BlockOf(newPPN)].valid++
+				f.l2p.set(m.lpn, newPPN)
+				f.rmap[newPPN] = m.lpn
+				f.rmap[m.oldPPN] = NoLPN
+				f.stats.GCMigrates++
+			}
+		}
+		at = progDone
+	}
 	return f.eraseBlock(victim, at)
-}
-
-// migrateValid relocates a live mapped page onto the GC stream.
-func (f *FTL) migrateValid(lpn, oldPPN uint64, at simclock.Time) (simclock.Time, error) {
-	data, oob, at2, err := f.dev.Read(oldPPN, at)
-	if err != nil {
-		return at, fmt.Errorf("ftl: gc read ppn %d: %w", oldPPN, err)
-	}
-	newPPN, at3, err := f.allocPageNoGC(StreamGC)
-	if err != nil {
-		return at2, err
-	}
-	_ = at3
-	done, err := f.dev.Program(newPPN, data, oob, at2)
-	if err != nil {
-		return at2, fmt.Errorf("ftl: gc program ppn %d: %w", newPPN, err)
-	}
-	f.blocks[f.geo.BlockOf(oldPPN)].valid--
-	f.blocks[f.geo.BlockOf(newPPN)].valid++
-	f.l2p[lpn] = newPPN
-	f.rmap[newPPN] = lpn
-	f.rmap[oldPPN] = NoLPN
-	f.stats.GCMigrates++
-	return done, nil
-}
-
-// migratePinned relocates a retained stale page onto the log stream and
-// informs the retainer, transferring the pin.
-func (f *FTL) migratePinned(oldPPN uint64, at simclock.Time) (simclock.Time, error) {
-	data, oob, at2, err := f.dev.Read(oldPPN, at)
-	if err != nil {
-		return at, fmt.Errorf("ftl: pin read ppn %d: %w", oldPPN, err)
-	}
-	newPPN, _, err := f.allocPageNoGC(StreamLog)
-	if err != nil {
-		return at2, err
-	}
-	done, err := f.dev.Program(newPPN, data, oob, at2)
-	if err != nil {
-		return at2, fmt.Errorf("ftl: pin program ppn %d: %w", newPPN, err)
-	}
-	lpn := f.rmap[oldPPN]
-	f.pinned[oldPPN] = false
-	f.blocks[f.geo.BlockOf(oldPPN)].pinned--
-	f.pinned[newPPN] = true
-	f.blocks[f.geo.BlockOf(newPPN)].pinned++
-	f.rmap[newPPN] = lpn
-	f.rmap[oldPPN] = NoLPN
-	f.stats.PinMigrates++
-	if f.ret != nil {
-		f.ret.OnMigrate(lpn, oldPPN, newPPN, done)
-	}
-	return done, nil
 }
 
 // allocPageNoGC allocates a page for GC-internal writes. It must not
@@ -221,7 +224,7 @@ func (f *FTL) eraseBlock(b uint64, at simclock.Time) (simclock.Time, error) {
 	if f.ret != nil {
 		for i := 0; i < f.geo.PagesPerBlock; i++ {
 			ppn := base + uint64(i)
-			if lpn := f.rmap[ppn]; lpn != NoLPN && f.l2p[lpn] != ppn && !f.pinned[ppn] {
+			if lpn := f.rmap[ppn]; lpn != NoLPN && f.l2p.get(lpn) != ppn && !f.pinned[ppn] {
 				f.stats.StaleErased++
 				f.ret.OnErased(lpn, ppn, at)
 			}
@@ -229,7 +232,7 @@ func (f *FTL) eraseBlock(b uint64, at simclock.Time) (simclock.Time, error) {
 	} else {
 		for i := 0; i < f.geo.PagesPerBlock; i++ {
 			ppn := base + uint64(i)
-			if lpn := f.rmap[ppn]; lpn != NoLPN && f.l2p[lpn] != ppn {
+			if lpn := f.rmap[ppn]; lpn != NoLPN && f.l2p.get(lpn) != ppn {
 				f.stats.StaleErased++
 			}
 		}
@@ -237,18 +240,22 @@ func (f *FTL) eraseBlock(b uint64, at simclock.Time) (simclock.Time, error) {
 	for i := 0; i < f.geo.PagesPerBlock; i++ {
 		f.rmap[base+uint64(i)] = NoLPN
 	}
-	done, err := f.dev.Erase(b, at)
+	// The erase itself is suspend-capable background work (see
+	// nand.Device.Erase): it does not advance the datapath clock. Its
+	// latency surfaces only through the block's readyAt when a program
+	// lands on the freshly erased block before the erase finished.
+	_, err := f.dev.Erase(b, at)
 	if err == nil {
 		f.stats.Erases++
 		if f.dev.Bad(b) {
 			// The erase that hit the endurance limit succeeded, but the
 			// block is now bad: retire it instead of recycling it.
 			f.blocks[b] = blockInfo{state: blockFull}
-			return done, nil
+			return at, nil
 		}
 		f.blocks[b] = blockInfo{state: blockFree}
 		f.freeList = append(f.freeList, b)
-		return done, nil
+		return at, nil
 	}
 	if err == nand.ErrBadBlock || f.dev.Bad(b) {
 		// Retire the block: it simply never rejoins the free list.

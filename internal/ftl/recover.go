@@ -58,10 +58,10 @@ func Recover(cfg Config, dev *nand.Device, retainer Retainer, classify func(ppn 
 					if oob.LPN >= f.logicalPages {
 						return nil, fmt.Errorf("ftl: recover: live ppn %d claims out-of-range lpn %d", ppn, oob.LPN)
 					}
-					if f.l2p[oob.LPN] != NoPPN {
-						return nil, fmt.Errorf("ftl: recover: lpn %d claimed live by ppn %d and %d", oob.LPN, f.l2p[oob.LPN], ppn)
+					if f.l2p.get(oob.LPN) != NoPPN {
+						return nil, fmt.Errorf("ftl: recover: lpn %d claimed live by ppn %d and %d", oob.LPN, f.l2p.get(oob.LPN), ppn)
 					}
-					f.l2p[oob.LPN] = ppn
+					f.l2p.set(oob.LPN, ppn)
 					f.rmap[ppn] = oob.LPN
 					bi.valid++
 				case DispRetained:

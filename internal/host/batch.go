@@ -1,0 +1,13 @@
+package host
+
+import "repro/internal/batch"
+
+// BatchDevice is a BlockDevice that also accepts submission batches (see
+// internal/batch for the semantics). The host side type-asserts its
+// BlockDevice to this interface and, when the device is batch-capable,
+// drives whole files / whole trace records through one submission instead
+// of one call per page.
+type BatchDevice interface {
+	BlockDevice
+	batch.Device
+}

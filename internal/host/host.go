@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/batch"
 	"repro/internal/simclock"
 )
 
@@ -125,28 +126,69 @@ func (fs *FlatFS) allocate(n uint64) ([]extent, error) {
 	return exts, nil
 }
 
+// submit pushes a group of operations to the device — as one submission
+// batch when the device is batch-capable (a whole file becomes one NVMe
+// doorbell ring), per-op otherwise — and advances the clock to the batch
+// completion. Results align with ops.
+func (fs *FlatFS) submit(ops []batch.Op) ([]batch.Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	if bd, ok := fs.dev.(BatchDevice); ok {
+		res, done, err := bd.SubmitBatch(ops, fs.clock.Now())
+		if err != nil {
+			return nil, err
+		}
+		for i := range res {
+			if res[i].Err != nil {
+				return nil, res[i].Err
+			}
+		}
+		fs.clock.AdvanceTo(done)
+		return res, nil
+	}
+	res := make([]batch.Result, len(ops))
+	for i, op := range ops {
+		var done simclock.Time
+		var err error
+		switch op.Kind {
+		case batch.OpWrite:
+			done, err = fs.dev.Write(op.LPN, op.Data, fs.clock.Now())
+		case batch.OpRead:
+			res[i].Data, done, err = fs.dev.Read(op.LPN, fs.clock.Now())
+		case batch.OpTrim:
+			done, err = fs.dev.Trim(op.LPN, fs.clock.Now())
+		}
+		if err != nil {
+			return nil, err
+		}
+		res[i].Done = done
+		fs.clock.AdvanceTo(done)
+	}
+	return res, nil
+}
+
 // release returns extents to the free pool, optionally trimming them.
 func (fs *FlatFS) release(exts []extent, trim bool) error {
+	var ops []batch.Op
 	for _, e := range exts {
 		for p := e.start; p < e.start+e.count; p++ {
 			fs.used[p] = false
 			fs.free++
 			if trim {
-				done, err := fs.dev.Trim(p, fs.clock.Now())
-				if err != nil {
-					return err
-				}
-				fs.clock.AdvanceTo(done)
+				ops = append(ops, batch.Op{Kind: batch.OpTrim, LPN: p})
 			}
 		}
 	}
-	return nil
+	_, err := fs.submit(ops)
+	return err
 }
 
 // writeExtents writes data across the file's extents, zero-padding the
 // final page.
 func (fs *FlatFS) writeExtents(exts []extent, data []byte) error {
 	ps := fs.dev.PageSize()
+	var ops []batch.Op
 	off := 0
 	for _, e := range exts {
 		for p := e.start; p < e.start+e.count; p++ {
@@ -154,14 +196,11 @@ func (fs *FlatFS) writeExtents(exts []extent, data []byte) error {
 			if off < len(data) {
 				off += copy(page, data[off:])
 			}
-			done, err := fs.dev.Write(p, page, fs.clock.Now())
-			if err != nil {
-				return err
-			}
-			fs.clock.AdvanceTo(done)
+			ops = append(ops, batch.Op{Kind: batch.OpWrite, LPN: p, Data: page})
 		}
 	}
-	return nil
+	_, err := fs.submit(ops)
+	return err
 }
 
 // Create stores a new file.
@@ -191,16 +230,19 @@ func (fs *FlatFS) ReadFile(name string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	out := make([]byte, 0, f.size)
+	var ops []batch.Op
 	for _, e := range f.extents {
 		for p := e.start; p < e.start+e.count; p++ {
-			data, done, err := fs.dev.Read(p, fs.clock.Now())
-			if err != nil {
-				return nil, err
-			}
-			fs.clock.AdvanceTo(done)
-			out = append(out, data...)
+			ops = append(ops, batch.Op{Kind: batch.OpRead, LPN: p})
 		}
+	}
+	res, err := fs.submit(ops)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, f.size)
+	for i := range res {
+		out = append(out, res[i].Data...)
 	}
 	return out[:f.size], nil
 }

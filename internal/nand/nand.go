@@ -162,6 +162,10 @@ type blockState struct {
 	eraseCount int
 	programmed int // pages programmed so far; next program must target this index
 	bad        bool
+	// readyAt is when the block's last erase completes. Erases run
+	// suspend-capable (see Erase): other traffic on the chip proceeds,
+	// but programs to this block must wait for readyAt.
+	readyAt simclock.Time
 }
 
 // Stats counts raw flash operations; the FTL derives write amplification
@@ -183,7 +187,8 @@ type Device struct {
 	pages    [][]byte // nil = erased/unwritten
 	oobs     []OOB
 	blocks   []blockState
-	chipBusy []simclock.Time
+	chipBusy []simclock.Time // host/GC datapath next-free per chip
+	bgBusy   []simclock.Time // background (offload engine) next-free per chip
 	stats    Stats
 	rng      *rand.Rand
 }
@@ -204,6 +209,7 @@ func New(cfg Config) *Device {
 		oobs:     make([]OOB, g.TotalPages()),
 		blocks:   make([]blockState, g.TotalBlocks()),
 		chipBusy: make([]simclock.Time, g.Chips()),
+		bgBusy:   make([]simclock.Time, g.Chips()),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
@@ -229,11 +235,45 @@ func (d *Device) occupy(block uint64, at simclock.Time, dur simclock.Duration) s
 	return done
 }
 
+// occupyBG serializes a background-lane operation: it starts only once the
+// chip is free of host work and of earlier background work, and it never
+// pushes the host lane's next-free time — modeling read-suspend, where a
+// host command preempts a background read and the engine resumes in the
+// next idle gap.
+func (d *Device) occupyBG(block uint64, at simclock.Time, dur simclock.Duration) simclock.Time {
+	chip := d.geo.ChipOfBlock(block)
+	start := simclock.Max(at, simclock.Max(d.chipBusy[chip], d.bgBusy[chip]))
+	done := start.Add(dur)
+	d.bgBusy[chip] = done
+	return done
+}
+
+// ReadBackground is Read on the background lane: the dedicated offload
+// engine's page reads. The engine has strictly lower priority than the
+// host datapath — its reads queue behind host operations and behind each
+// other, but never delay subsequent host operations on the chip.
+func (d *Device) ReadBackground(ppn uint64, at simclock.Time) (data []byte, oob OOB, done simclock.Time, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.readOn(ppn, at, d.occupyBG)
+}
+
 // Read returns a copy of the page's data and OOB. The returned completion
 // time reflects chip contention.
 func (d *Device) Read(ppn uint64, at simclock.Time) (data []byte, oob OOB, done simclock.Time, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.readLocked(ppn, at)
+}
+
+// readLocked is Read with d.mu held.
+func (d *Device) readLocked(ppn uint64, at simclock.Time) (data []byte, oob OOB, done simclock.Time, err error) {
+	return d.readOn(ppn, at, d.occupy)
+}
+
+// readOn performs a page read, charging chip time through the given lane
+// (occupy for the host datapath, occupyBG for the offload engine).
+func (d *Device) readOn(ppn uint64, at simclock.Time, lane func(uint64, simclock.Time, simclock.Duration) simclock.Time) (data []byte, oob OOB, done simclock.Time, err error) {
 	if ppn >= uint64(len(d.pages)) {
 		return nil, OOB{}, at, ErrOutOfRange
 	}
@@ -242,7 +282,7 @@ func (d *Device) Read(ppn uint64, at simclock.Time) (data []byte, oob OOB, done 
 		return nil, OOB{}, at, ErrUnwritten
 	}
 	d.stats.Reads++
-	done = d.occupy(d.geo.BlockOf(ppn), at, d.timing.ReadLatency+d.timing.Transfer)
+	done = lane(d.geo.BlockOf(ppn), at, d.timing.ReadLatency+d.timing.Transfer)
 	data = make([]byte, len(src))
 	copy(data, src)
 	if d.cfg.BitErrorProb > 0 && d.rng.Float64() < d.cfg.BitErrorProb {
@@ -258,6 +298,11 @@ func (d *Device) Read(ppn uint64, at simclock.Time) (data []byte, oob OOB, done 
 func (d *Device) Program(ppn uint64, data []byte, oob OOB, at simclock.Time) (done simclock.Time, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.programLocked(ppn, data, oob, at)
+}
+
+// programLocked is Program with d.mu held.
+func (d *Device) programLocked(ppn uint64, data []byte, oob OOB, at simclock.Time) (done simclock.Time, err error) {
 	if ppn >= uint64(len(d.pages)) {
 		return at, ErrOutOfRange
 	}
@@ -282,11 +327,18 @@ func (d *Device) Program(ppn uint64, data []byte, oob OOB, at simclock.Time) (do
 	d.oobs[ppn] = oob
 	bs.programmed++
 	d.stats.Programs++
-	return d.occupy(block, at, d.timing.ProgramLatency+d.timing.Transfer), nil
+	// A program cannot start until the block's erase has fully completed.
+	return d.occupy(block, simclock.Max(at, bs.readyAt), d.timing.ProgramLatency+d.timing.Transfer), nil
 }
 
 // Erase wipes a block, incrementing its wear counter. Once the endurance
 // limit is exceeded the block is marked bad and further programs fail.
+//
+// Erases are suspend-capable, as on modern NAND: host reads and programs
+// to other blocks on the chip preempt an in-flight erase, so the erase
+// occupies the chip's background lane instead of stalling the datapath
+// for its full multi-millisecond latency. The erased block itself stays
+// unavailable for programming until the erase completes (readyAt).
 func (d *Device) Erase(block uint64, at simclock.Time) (done simclock.Time, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -308,7 +360,9 @@ func (d *Device) Erase(block uint64, at simclock.Time) (done simclock.Time, err 
 	if d.cfg.EnduranceLimit > 0 && bs.eraseCount >= d.cfg.EnduranceLimit {
 		bs.bad = true
 	}
-	return d.occupy(block, at, d.timing.EraseLatency), nil
+	done = d.occupyBG(block, at, d.timing.EraseLatency)
+	bs.readyAt = done
+	return done, nil
 }
 
 // ReadOOB returns a page's out-of-band metadata without transferring the

@@ -178,6 +178,11 @@ func (c *Controller) execute(cmd Command, at *simclock.Time) Completion {
 		comp.At = *at
 		return comp
 	}
+	// Page-aligned commands on a batch-capable device go down the batched
+	// datapath: one submission per command, scheduled across channels.
+	if bc, ok := c.executeBatched(cmd, at); ok {
+		return bc
+	}
 	switch cmd.Opcode {
 	case OpFlush:
 		comp.At = *at // all writes are durable on completion in this model

@@ -121,8 +121,19 @@ func (e *Entry) ComputeHash(prev [HashSize]byte) [HashSize]byte {
 
 // Seal sets PrevHash and Hash from the previous hash in the chain.
 func (e *Entry) Seal(prev [HashSize]byte) {
+	e.sealWith(prev, nil)
+}
+
+// sealWith is Seal with an optional scratch buffer, so batched appends can
+// hash every entry of a batch through one reused allocation. It returns the
+// (possibly grown) buffer for the next entry.
+func (e *Entry) sealWith(prev [HashSize]byte, buf []byte) []byte {
+	buf = buf[:0]
+	buf = append(buf, prev[:]...)
+	buf = e.appendBody(buf)
 	e.PrevHash = prev
-	e.Hash = e.ComputeHash(prev)
+	e.Hash = sha256.Sum256(buf)
+	return buf
 }
 
 // Verify reports whether e's Hash is consistent with its contents and
@@ -168,6 +179,7 @@ type Log struct {
 	head    [HashSize]byte // hash of the newest entry (genesis: zero)
 	nextSeq uint64
 	baseSeq uint64 // seq of entries[0]; earlier entries have been pruned
+	scratch []byte // seal buffer, reused under mu across appends
 }
 
 // New returns an empty log whose first entry will have sequence 0 and a
@@ -191,11 +203,51 @@ func (l *Log) Append(kind Kind, at simclock.Time, lpn, oldPPN, newPPN uint64, en
 		LPN: lpn, OldPPN: oldPPN, NewPPN: newPPN,
 		Entropy: ent, DataHash: dataHash,
 	}
-	e.Seal(l.head)
+	l.scratch = e.sealWith(l.head, l.scratch)
 	l.entries = append(l.entries, e)
 	l.head = e.Hash
 	l.nextSeq++
 	return e
+}
+
+// Rec describes one entry to append in a batch. It is an Entry minus the
+// fields the log assigns (Seq and the chain hashes).
+type Rec struct {
+	Kind     Kind
+	At       simclock.Time
+	LPN      uint64
+	OldPPN   uint64
+	NewPPN   uint64
+	Entropy  float32
+	DataHash [HashSize]byte
+}
+
+// AppendBatch creates, seals, and stores one entry per record under a
+// single lock acquisition, returning copies in order. Every entry is still
+// individually hash-chained onto its predecessor — VerifyChain sees no
+// difference from per-op appends — but the sequence counter, head update,
+// and seal buffer are touched once per batch instead of once per entry,
+// which is what makes the batched datapath's logging cheap.
+func (l *Log) AppendBatch(recs []Rec) []Entry {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(recs))
+	for i, rec := range recs {
+		e := Entry{
+			Seq: l.nextSeq, At: rec.At, Kind: rec.Kind,
+			LPN: rec.LPN, OldPPN: rec.OldPPN, NewPPN: rec.NewPPN,
+			Entropy: rec.Entropy, DataHash: rec.DataHash,
+		}
+		l.scratch = e.sealWith(l.head, l.scratch)
+		l.entries = append(l.entries, e)
+		l.head = e.Hash
+		l.nextSeq++
+		out[i] = e
+	}
+	return out
 }
 
 // NextSeq returns the sequence number the next appended entry will get.
