@@ -12,6 +12,7 @@
 //	rssdbench -exp detection  # detection coverage/latency, six variants
 //	rssdbench -exp attacks    # Ransomware 2.0 validation vs. LocalSSD
 //	rssdbench -exp batch      # batched vs per-op datapath replay
+//	rssdbench -exp fleet      # N devices, one server: async offload + streaming detection
 //
 // -scale small uses the test-sized configuration for a quick pass.
 // -json additionally writes each experiment's rows to BENCH_<name>.json
@@ -29,9 +30,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, detection, attacks, batch)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, detection, attacks, batch, fleet)")
 	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_<name>.json per experiment")
+	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet")
 	flag.Parse()
 
 	var s experiment.Scale
@@ -169,6 +171,16 @@ func main() {
 		fmt.Println("Batched datapath — per-op vs submission-batch replay (wall = host overhead, sim = channel parallelism)")
 		fmt.Print(experiment.RenderBatchReplay(rows))
 		return persist("batch", rows)
+	})
+
+	run("fleet", func() error {
+		res, err := experiment.Fleet(s, *fleetDevices)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fleet — %d devices, one server: async offload pipeline, sharded ingest, streaming detection\n", *fleetDevices)
+		fmt.Print(experiment.RenderFleet(res))
+		return persist("fleet", res)
 	})
 
 	run("attacks", func() error {

@@ -181,6 +181,9 @@ func TestFailedOffloadLeavesRetainedPagesIntact(t *testing.T) {
 			}
 		}
 	}
+	// Settle the asynchronous pipeline so every staged segment has either
+	// acked or failed-and-requeued before the invariant is checked.
+	at = r.DrainOffload(at)
 	st := r.Stats()
 	if st.OffloadErrors == 0 {
 		t.Fatal("no offload errors recorded despite broken remote")

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"repro/internal/oplog"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// This file implements the asynchronous offload engine: the pipeline stage
+// between the retention watermark check and the NVMe-oE transport. The
+// host path *stages* sealed segments into a bounded queue and returns; a
+// dedicated transfer goroutine ships them to the remote server. Pins are
+// released only when the durability ack is harvested back on the firmware
+// goroutine — the zero-data-loss invariant is unchanged, the transfer time
+// just no longer sits on the host path.
+//
+// Concurrency model: all FTL/RSSD state is still owned by the single
+// firmware goroutine. The transfer goroutine touches only the staged
+// segment (already sealed: pages read, entries copied) and the NVMe-oE
+// client. Results come back over a channel and are applied by the firmware
+// goroutine at poll points (afterOps, Pressure, DrainOffload).
+//
+// Simulated-time model: each staged segment's ack instant is fixed at
+// staging time from the link model (serialized transfers on one simulated
+// link: start = max(sealed, link free), ack = start + RTT + bytes/BW).
+// The firmware goroutine applies a completion only once simulated time
+// reaches that instant, blocking on the channel if the real transfer is
+// still in flight — so behaviour is deterministic in simulated time
+// regardless of goroutine scheduling, and the transfer overlaps host I/O
+// instead of adding to it.
+
+// stagedSegment is one sealed segment travelling through the pipeline.
+type stagedSegment struct {
+	seg      *oplog.Segment
+	batch    []*retEntry   // retained pages carried by seg (pins still held)
+	toSeq    uint64        // log entries below this are covered by seg
+	sealedAt simclock.Time // flash background reads complete
+	ackAt    simclock.Time // simulated durability-ack arrival (link model)
+	bytes    int           // wire size estimate driving the link model
+	err      error         // set by the transfer goroutine
+}
+
+// offloadEngine owns the staging queue and the transfer goroutine.
+type offloadEngine struct {
+	depth         int                 // staging-queue bound (backpressure point)
+	pending       chan *stagedSegment // staged, awaiting transfer
+	results       chan *stagedSegment // transfer resolved, FIFO with pending
+	inFlight      []*stagedSegment    // firmware-side FIFO mirror of the pipeline
+	pagesInFlight int
+	linkFreeAt    simclock.Time
+	// failure epoch: once one segment fails, everything behind it in the
+	// pipeline fails too (the chain has a gap at the server). Failed
+	// batches are collected in stage order and requeued together when the
+	// pipeline drains, then staging resumes from the acked sequence.
+	failing       bool
+	failedBatches [][]*retEntry
+}
+
+// newOffloadEngine starts the transfer goroutine for one client session.
+func newOffloadEngine(client *remote.Client, depth int) *offloadEngine {
+	if depth <= 0 {
+		depth = 8
+	}
+	e := &offloadEngine{
+		depth:   depth,
+		pending: make(chan *stagedSegment, depth),
+		// results is sized so the transfer goroutine never blocks sending:
+		// at most depth segments queue plus one in its hands.
+		results: make(chan *stagedSegment, depth+2),
+	}
+	go func() {
+		for st := range e.pending {
+			st.err = client.PushSegment(st.seg)
+			e.results <- st
+		}
+	}()
+	return e
+}
+
+// ensureEngine lazily starts the engine for the attached client.
+func (r *RSSD) ensureEngine() *offloadEngine {
+	if r.engine == nil {
+		r.engine = newOffloadEngine(r.client, r.cfg.OffloadQueueDepth)
+	}
+	return r.engine
+}
+
+// stopEngine drains and dismantles the engine (client swap or Close).
+// Outstanding completions are applied unconditionally so no pin is
+// orphaned; simulated time is not advanced (admin path).
+func (r *RSSD) stopEngine() {
+	e := r.engine
+	if e == nil {
+		return
+	}
+	for len(e.inFlight) > 0 {
+		r.applyResult(<-e.results)
+	}
+	close(e.pending)
+	r.engine = nil
+}
+
+// Close releases the engine's transfer goroutine. The device remains
+// usable (offload falls back to lazy engine start on the next watermark
+// crossing); call it when retiring a device instance.
+func (r *RSSD) Close() { r.stopEngine() }
+
+// xferTime models one segment's NVMe-oE transfer on the offload link.
+func (r *RSSD) xferTime(bytes int) simclock.Duration {
+	bw := r.cfg.OffloadLinkMBps
+	if bw <= 0 {
+		bw = 1200
+	}
+	rtt := r.cfg.OffloadLinkRTT
+	if rtt <= 0 {
+		rtt = 30 * simclock.Microsecond
+	}
+	return rtt + simclock.Duration(float64(bytes)/(bw*1e6)*float64(simclock.Second))
+}
+
+// buildSegment seals one segment: the next run of unstaged log entries
+// plus the given retained pages, read on the NAND background lane. It
+// advances stagedUpTo. On error the caller must requeue batch.
+func (r *RSSD) buildSegment(batch []*retEntry, at simclock.Time) (*stagedSegment, error) {
+	to := r.log.NextSeq()
+	if to > r.stagedUpTo+maxEntriesPerSegment {
+		to = r.stagedUpTo + maxEntriesPerSegment
+	}
+	entries := r.log.Entries(r.stagedUpTo, to)
+	seg := &oplog.Segment{
+		DeviceID: r.cfg.DeviceID,
+		FirstSeq: r.stagedUpTo,
+		LastSeq:  to,
+		Entries:  entries,
+	}
+	if len(entries) > 0 {
+		seg.FirstTime = entries[0].At
+		seg.LastTime = entries[len(entries)-1].At
+	}
+	st := &stagedSegment{seg: seg, batch: batch, toSeq: to, sealedAt: at}
+	st.bytes = 52 + len(entries)*oplog.EntrySize
+	for _, re := range batch {
+		// Background lane: the offload engine's flash reads fill host idle
+		// gaps (read-suspend priority) rather than delaying host I/O.
+		data, _, done, err := r.f.ReadPhysicalBackground(re.ppn, at)
+		if err != nil {
+			return nil, err
+		}
+		r.stats.OffloadLatency += done.Sub(at)
+		if done > st.sealedAt {
+			st.sealedAt = done
+		}
+		seg.Pages = append(seg.Pages, oplog.PageRecord{
+			LPN:      re.lpn,
+			WriteSeq: re.writeSeq,
+			StaleSeq: re.staleSeq,
+			Cause:    uint8(re.cause),
+			Hash:     oplog.HashData(data),
+			Data:     data,
+		})
+		st.bytes += 29 + oplog.HashSize + len(data)
+	}
+	r.stagedUpTo = to
+	return st, nil
+}
+
+// stage seals batch into a segment and hands it to the transfer goroutine.
+// When the staging queue is full the host stalls: completions are
+// harvested (blocking) until a slot frees, and the stall is charged to the
+// returned host time. The batch must already be popped from the retention
+// queue; on build failure it is requeued.
+func (r *RSSD) stage(batch []*retEntry, at simclock.Time) (simclock.Time, error) {
+	e := r.ensureEngine()
+	st, err := r.buildSegment(batch, at)
+	if err != nil {
+		r.requeue(batch)
+		return at, err
+	}
+	start := simclock.Max(st.sealedAt, e.linkFreeAt)
+	st.ackAt = start.Add(r.xferTime(st.bytes))
+	e.linkFreeAt = st.ackAt
+	// Backpressure: the bound is the firmware-side in-flight count, not
+	// the channel's instantaneous occupancy, so stalls depend only on
+	// simulated time, never on goroutine scheduling.
+	for len(e.inFlight) >= e.depth {
+		res := <-e.results
+		if res.ackAt > at {
+			r.stats.OffloadStalls++
+			r.stats.OffloadStallTime += res.ackAt.Sub(at)
+			at = res.ackAt
+		}
+		r.applyResult(res)
+	}
+	e.pending <- st // never blocks: queue holds at most depth-1 entries here
+	e.inFlight = append(e.inFlight, st)
+	e.pagesInFlight += len(st.batch)
+	if n := len(e.inFlight); n > r.stats.OffloadQueuePeak {
+		r.stats.OffloadQueuePeak = n
+	}
+	return at, nil
+}
+
+// pollOffload applies, in pipeline order, every completion whose simulated
+// ack instant has been reached. It blocks on the results channel when the
+// real transfer lags the simulated clock, which keeps the simulation
+// deterministic.
+func (r *RSSD) pollOffload(at simclock.Time) {
+	e := r.engine
+	if e == nil {
+		return
+	}
+	for len(e.inFlight) > 0 && e.inFlight[0].ackAt <= at {
+		r.applyResult(<-e.results)
+	}
+}
+
+// drainOffload blocks until the pipeline is empty, applying every
+// completion and advancing host time to the final ack.
+func (r *RSSD) drainOffload(at simclock.Time) simclock.Time {
+	e := r.engine
+	if e == nil {
+		return at
+	}
+	for len(e.inFlight) > 0 {
+		res := <-e.results
+		at = simclock.Max(at, res.ackAt)
+		r.applyResult(res)
+	}
+	return at
+}
+
+// DrainOffload synchronously settles the offload pipeline: every staged
+// segment is acked or failed-and-requeued before it returns. Host tooling
+// calls it before reading Stats() for a consistent view; tests use it as
+// a barrier.
+func (r *RSSD) DrainOffload(at simclock.Time) simclock.Time {
+	return r.drainOffload(at)
+}
+
+// applyResult consumes the oldest in-flight completion on the firmware
+// goroutine: success releases the pins and advances the durable frontier,
+// failure opens (or extends) the failure epoch.
+func (r *RSSD) applyResult(st *stagedSegment) {
+	e := r.engine
+	e.inFlight = e.inFlight[1:]
+	e.pagesInFlight -= len(st.batch)
+	if st.err != nil {
+		r.stats.OffloadErrors++
+		r.lastOffloadErr = st.err
+		e.failing = true
+		if len(st.batch) > 0 {
+			e.failedBatches = append(e.failedBatches, st.batch)
+		}
+	} else {
+		r.releaseSegment(st)
+	}
+	if e.failing && len(e.inFlight) == 0 {
+		// Pipeline drained with failures: put every failed batch back at
+		// the queue head in stale-time order and rewind staging to the
+		// durable frontier so the retry ships the same entries.
+		for i := len(e.failedBatches) - 1; i >= 0; i-- {
+			r.requeue(e.failedBatches[i])
+			r.stats.OffloadRetries++
+		}
+		e.failedBatches = nil
+		e.failing = false
+		r.stagedUpTo = r.offloadedUpTo
+	}
+}
+
+// releaseSegment applies one durably-acked segment: local pins are
+// released (the ack-before-release ordering is the zero-data-loss
+// invariant), the log is pruned, and the transfer span is attributed to
+// the background engine rather than host I/O.
+func (r *RSSD) releaseSegment(st *stagedSegment) {
+	for _, re := range st.batch {
+		if err := r.f.Release(re.ppn); err == nil {
+			r.stats.ReleasedPins++
+		}
+		re.released = true
+		delete(r.retained, re.ppn)
+		r.removeFromLPNIndex(re)
+		r.stats.OffloadPages++
+		r.stats.OffloadBytes += uint64(r.f.PageSize())
+	}
+	r.stats.OffloadSegments++
+	r.stats.OffloadEntries += uint64(len(st.seg.Entries))
+	ackSpan := st.ackAt.Sub(st.sealedAt)
+	r.stats.OffloadLatency += ackSpan
+	r.stats.OffloadAckTime += ackSpan
+	// The durable frontier advances only over entries this segment itself
+	// carried. A pages-only segment acked behind a rejected entry-bearing
+	// one (the server skips the chain check when Entries is empty) must
+	// not claim the failed segment's entries as durable — they are neither
+	// remote nor, after a prune, local.
+	if n := len(st.seg.Entries); n > 0 {
+		if upTo := st.seg.Entries[n-1].Seq + 1; upTo > r.offloadedUpTo {
+			r.offloadedUpTo = upTo
+			r.log.Prune(r.offloadedUpTo)
+		}
+	}
+	// A durable ack means the path is healthy again: clear the SMART-style
+	// sticky error so polling tooling sees the recovery — unless a failure
+	// epoch is still draining, in which case the error stands until the
+	// requeued entries actually land.
+	if r.engine == nil || !r.engine.failing {
+		r.lastOffloadErr = nil
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/oplog"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// churn drives rounds of overwrites across lpns so stale versions pile up
+// past the offload watermark, returning the final host completion time.
+func churn(t *testing.T, r *RSSD, lpns, rounds int, at simclock.Time) simclock.Time {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		ops := make([]Op, lpns)
+		for i := range ops {
+			ops[i] = Op{Kind: OpWrite, LPN: uint64(i), Data: fill(byte(round+1), 512)}
+		}
+		res, done, err := r.SubmitBatch(ops, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if res[i].Err != nil {
+				t.Fatalf("round %d op %d: %v", round, i, res[i].Err)
+			}
+		}
+		at = done
+	}
+	return at
+}
+
+// TestAsyncOffloadOverlapsHostTime runs the same churn on an asynchronous
+// device and a SyncOffload baseline: both must ship segments, but only the
+// baseline charges seal + transfer time to host completions. The async
+// device must also account the transfer honestly in OffloadLatency
+// instead of charging zero anywhere.
+func TestAsyncOffloadOverlapsHostTime(t *testing.T) {
+	async := newEnv(t, testConfig())
+	syncCfg := testConfig()
+	syncCfg.SyncOffload = true
+	syncDev := newEnv(t, syncCfg)
+
+	asyncDone := churn(t, async.r, 6, 4, 0)
+	syncDone := churn(t, syncDev.r, 6, 4, 0)
+
+	asyncDone = async.r.DrainOffload(asyncDone)
+	defer async.r.Close()
+
+	as, ss := async.r.Stats(), syncDev.r.Stats()
+	if as.OffloadSegments == 0 || ss.OffloadSegments == 0 {
+		t.Fatalf("no offload happened: async %d, sync %d segments", as.OffloadSegments, ss.OffloadSegments)
+	}
+	if as.OffloadLatency == 0 {
+		t.Fatal("async engine charged zero simulated time for offload (transfer unaccounted)")
+	}
+	if as.OffloadAckTime == 0 {
+		t.Fatal("no ack latency recorded")
+	}
+	// The host-visible completion of the churn must be earlier on the
+	// async device: its transfers overlapped host I/O.
+	hostAsync := churnHostTime(t, testConfig())
+	if hostAsync >= syncDone {
+		t.Fatalf("async host completion %v not earlier than sync baseline %v", hostAsync, syncDone)
+	}
+	_ = asyncDone
+}
+
+// churnHostTime reruns the churn on a fresh async device and returns the
+// host completion time alone (no drain barrier): what the host observed.
+func churnHostTime(t *testing.T, cfg Config) simclock.Time {
+	t.Helper()
+	e := newEnv(t, cfg)
+	done := churn(t, e.r, 6, 4, 0)
+	e.r.Close()
+	return done
+}
+
+// TestStaleOffloadErrorClearedAfterRetrySuccess is the regression test for
+// the sticky LastOffloadError: failures during an outage must surface, and
+// the first successful background offload after recovery must clear them —
+// host tooling polling Stats() must not see a resolved failure forever.
+func TestStaleOffloadErrorClearedAfterRetrySuccess(t *testing.T) {
+	cfg := testConfig()
+	cfg.DropWhenOffline = false
+	store := remote.NewStore(remote.NewMemStore())
+	srv := remote.NewServer(store, testPSK)
+	broken, err := remote.Loopback(srv, testPSK, cfg.DeviceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Close() // attached but dead: every push fails
+	r := New(cfg, broken)
+	defer r.Close()
+
+	at := churn(t, r, 4, 3, 0) // 8 stale versions... keep under watermark
+	at = churn(t, r, 4, 1, at) // cross it: staging starts and fails
+	at = r.DrainOffload(at)
+	st := r.Stats()
+	if st.OffloadErrors == 0 || st.LastOffloadError == "" {
+		t.Fatalf("outage not surfaced: %+v", st)
+	}
+	if st.OffloadRetries == 0 {
+		t.Fatal("failed segments were not requeued for retry")
+	}
+	if st.OffloadPages != 0 || st.DroppedPages != 0 {
+		t.Fatalf("data moved or dropped without a durable ack: %+v", st)
+	}
+
+	// Recovery: a healthy session; the next background watermark check
+	// retries the requeued backlog and the success clears the error.
+	good, err := remote.Loopback(srv, testPSK, cfg.DeviceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	r.AttachRemote(good)
+	at = churn(t, r, 4, 1, at)
+	at = r.DrainOffload(at)
+	st = r.Stats()
+	if st.OffloadSegments == 0 {
+		t.Fatal("background retry did not ship the backlog")
+	}
+	if st.LastOffloadError != "" {
+		t.Fatalf("stale error still surfaced after successful retry: %q", st.LastOffloadError)
+	}
+	_ = at
+}
+
+// TestOffloadBackpressureStallsHost: with a staging queue of one, draining
+// to the low watermark stages more segments than the queue holds, so the
+// host must stall for acks — and those stalls are recorded.
+func TestOffloadBackpressureStallsHost(t *testing.T) {
+	cfg := testConfig()
+	cfg.OffloadQueueDepth = 1
+	cfg.SegmentMaxPages = 2
+	e := newEnv(t, cfg)
+	defer e.r.Close()
+
+	at := churn(t, e.r, 6, 3, 0)
+	at = e.r.DrainOffload(at)
+	st := e.r.Stats()
+	if st.OffloadSegments < 2 {
+		t.Fatalf("expected a multi-segment drain, got %d", st.OffloadSegments)
+	}
+	if st.OffloadStalls == 0 || st.OffloadStallTime == 0 {
+		t.Fatalf("queue-full backpressure did not stall the host: %+v", st)
+	}
+	if st.OffloadQueuePeak < 1 {
+		t.Fatalf("queue peak not tracked: %+v", st)
+	}
+}
+
+// TestOffloadNowSettlesPipeline: OffloadNow must drain staged segments,
+// retained pages, and the log tail, leaving the device fully remote.
+func TestOffloadNowSettlesPipeline(t *testing.T) {
+	e := newEnv(t, testConfig())
+	defer e.r.Close()
+	at := churn(t, e.r, 6, 4, 0)
+	at, err := e.r.OffloadNow(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.r.Stats()
+	if st.RetainedNow != 0 || st.OffloadInFlight != 0 {
+		t.Fatalf("pipeline not settled: %+v", st)
+	}
+	if e.r.OffloadedUpTo() != e.r.Log().NextSeq() {
+		t.Fatalf("log tail not offloaded: upTo %d, next %d", e.r.OffloadedUpTo(), e.r.Log().NextSeq())
+	}
+	if got := e.store.Head(e.r.DeviceID()).NextSeq; got != e.r.Log().NextSeq() {
+		t.Fatalf("remote head %d, want %d", got, e.r.Log().NextSeq())
+	}
+	_ = at
+}
+
+// TestRejectedEntriesNotPrunedByPagesOnlyAck pins down a frontier hazard:
+// when the server rejects the entry-bearing segment of a staged run (the
+// session survives — e.g. its chain diverged), a pages-only segment staged
+// behind it is still accepted, because the server only chain-checks
+// segments that carry entries. That ack must not advance the durable
+// frontier over the rejected entries: they are not remote, so pruning
+// them locally would destroy the only copy of the evidence chain.
+func TestRejectedEntriesNotPrunedByPagesOnlyAck(t *testing.T) {
+	cfg := testConfig()
+	cfg.DropWhenOffline = false
+	cfg.SegmentMaxPages = 4 // force multi-segment staging runs
+	store := remote.NewStore(remote.NewMemStore())
+	srv := remote.NewServer(store, testPSK)
+	client, err := remote.Loopback(srv, testPSK, cfg.DeviceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Poison the device's remote chain: the server is already at seq 3 for
+	// this device, so every entry-bearing segment the device ships (which
+	// starts at 0) is rejected while the session stays up.
+	if err := store.AppendSegment(conflictSegment(cfg.DeviceID, 3)); err != nil {
+		t.Fatal(err)
+	}
+	r := New(cfg, client)
+	defer r.Close()
+
+	at := churn(t, r, 4, 4, 0)
+	at = r.DrainOffload(at)
+	st := r.Stats()
+	if st.OffloadErrors == 0 {
+		t.Fatal("conflicting chain did not surface as offload errors")
+	}
+	if got := r.OffloadedUpTo(); got != 0 {
+		t.Fatalf("durable frontier advanced to %d over rejected entries", got)
+	}
+	if st.LastOffloadError == "" {
+		t.Fatal("failure epoch cleared by a pages-only ack")
+	}
+	// The rejected entries must still be local: nothing was pruned.
+	if entries := r.Log().Entries(0, 1); len(entries) != 1 {
+		t.Fatal("log entries pruned without a durable remote copy")
+	}
+	_ = at
+}
+
+// conflictSegment builds a minimal foreign segment putting a device's
+// remote chain at the given next sequence.
+func conflictSegment(deviceID, upTo uint64) *oplog.Segment {
+	l := oplog.New()
+	seg := &oplog.Segment{DeviceID: deviceID, FirstSeq: 0, LastSeq: upTo}
+	for i := uint64(0); i < upTo; i++ {
+		e := l.Append(oplog.KindWrite, 0, i, 0, 0, 0, oplog.HashData([]byte("x")))
+		seg.Entries = append(seg.Entries, e)
+	}
+	return seg
+}

@@ -12,84 +12,198 @@ import (
 // single frame stays well under the transport limit.
 const maxEntriesPerSegment = 4096
 
-// maybeOffload drains retained pages to the remote server when they exceed
-// the high watermark of the local retention budget. The drain is modeled as
-// background work: its flash reads ride the NAND background lane (the
-// dedicated offload engine reads in host idle gaps, yielding the chip to
-// host traffic the way read-suspend does), and the network transfer rides
-// the dedicated NVMe-oE engine off the host path.
+// maybeOffload runs the offload stage of the background duty cycle. In the
+// default asynchronous mode it harvests due acks, then — when locally
+// retained pages exceed the high watermark of the retention budget —
+// stages sealed segments into the engine's bounded queue until the
+// unstaged backlog drops to the low watermark; the network transfer
+// proceeds off the host path. In SyncOffload mode (the baseline the fleet
+// experiment compares against) the drain is inline and its full simulated
+// cost — flash reads plus transfer — is charged to the returned host time.
 func (r *RSSD) maybeOffload(at simclock.Time) (simclock.Time, error) {
+	if !r.cfg.SyncOffload {
+		r.pollOffload(at)
+	}
 	budget := r.retentionBudget()
 	high := int(r.cfg.OffloadHighWater * float64(budget))
-	if len(r.retained) <= high {
+	if r.unstagedRetained() <= high {
 		return at, nil
 	}
 	low := int(r.cfg.OffloadLowWater * float64(budget))
 	if r.client == nil {
 		if r.cfg.DropWhenOffline {
 			r.dropTo(low)
-			return at, nil
 		}
-		return at, nil // keep accumulating; Pressure will fail eventually
+		return at, nil // else keep accumulating; Pressure will fail eventually
 	}
-	if _, err := r.offloadTo(low, at); err != nil {
-		// A failed offload must not fail host I/O: nothing was released
-		// (zero data loss holds), retention just keeps accumulating and
-		// the next operation retries. Only Pressure escalates further.
-		r.stats.OffloadErrors++
-		r.lastOffloadErr = err
+	if r.cfg.SyncOffload {
+		done, err := r.offloadToSync(low, at)
+		if err != nil {
+			// A failed offload must not fail host I/O: nothing was released
+			// (zero data loss holds), retention just keeps accumulating and
+			// the next operation retries. Only Pressure escalates further.
+			r.stats.OffloadErrors++
+			r.lastOffloadErr = err
+		}
+		return done, nil
 	}
-	return at, nil
+	return r.stageTo(low, at), nil
+}
+
+// unstagedRetained counts retained pages not yet travelling through the
+// offload pipeline — the quantity the watermarks govern.
+func (r *RSSD) unstagedRetained() int {
+	n := len(r.retained)
+	if r.engine != nil {
+		n -= r.engine.pagesInFlight
+	}
+	return n
+}
+
+// stageTo stages segments until at most target unstaged retained pages
+// remain. During a failure epoch staging pauses: the pipeline must drain
+// and requeue before a retry ships the same entries again.
+func (r *RSSD) stageTo(target int, at simclock.Time) simclock.Time {
+	for {
+		if e := r.engine; e != nil && e.failing {
+			return at
+		}
+		n := r.unstagedRetained() - target
+		if n <= 0 {
+			return at
+		}
+		batch := r.popRetained(r.cfg.SegmentMaxPages, n)
+		if len(batch) == 0 {
+			return at
+		}
+		var err error
+		if at, err = r.stage(batch, at); err != nil {
+			r.stats.OffloadErrors++
+			r.lastOffloadErr = err
+			return at
+		}
+	}
 }
 
 // LastOffloadError returns the most recent background offload failure, or
-// nil. Host tooling polls it the way it would poll a SMART error log.
+// nil once a subsequent offload succeeds. Host tooling polls it the way it
+// would poll a SMART error log.
 func (r *RSSD) LastOffloadError() error { return r.lastOffloadErr }
 
 // OffloadNow synchronously drains every retained page and all pending log
-// entries to the remote server. Administrators run this before planned
-// disconnects; tests use it to establish "everything is remote".
+// entries to the remote server, settling the asynchronous pipeline on the
+// way. Administrators run this before planned disconnects; tests use it to
+// establish "everything is remote".
 func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 	if r.client == nil {
 		return at, ErrNoRemote
 	}
-	n, err := r.offloadTo(0, at)
-	if err != nil {
-		return at, err
+	if r.cfg.SyncOffload {
+		done, err := r.offloadToSync(0, at)
+		if err != nil {
+			return done, err
+		}
+		at = done
+		for r.stagedUpTo < r.log.NextSeq() {
+			if at, err = r.shipSync(nil, at); err != nil {
+				return at, err
+			}
+		}
+		return at, nil
 	}
-	_ = n
-	// Ship any remaining log entries even when no pages are left.
-	for r.offloadedUpTo < r.log.NextSeq() {
-		if err := r.shipSegment(nil, at); err != nil {
+	for {
+		beforeRetained, beforeSeq := len(r.retained), r.offloadedUpTo
+		at = r.drainOffload(at)
+		at = r.stageTo(0, at)
+		for r.engineIdleHealthy() && r.stagedUpTo < r.log.NextSeq() {
+			var err error
+			if at, err = r.stage(nil, at); err != nil {
+				r.stats.OffloadErrors++
+				r.lastOffloadErr = err
+				break
+			}
+		}
+		at = r.drainOffload(at)
+		if len(r.retained) == 0 && r.offloadedUpTo == r.log.NextSeq() {
+			return at, nil
+		}
+		if len(r.retained) == beforeRetained && r.offloadedUpTo == beforeSeq {
+			// A full stage+drain round made no progress: surface the error
+			// instead of spinning.
+			if r.lastOffloadErr != nil {
+				return at, r.lastOffloadErr
+			}
+			return at, fmt.Errorf("core: offload stalled with %d pages retained", len(r.retained))
+		}
+	}
+}
+
+// engineIdleHealthy reports whether entry-only staging may proceed (no
+// failure epoch pending a pipeline reset).
+func (r *RSSD) engineIdleHealthy() bool {
+	return r.engine == nil || !r.engine.failing
+}
+
+// offloadToSync ships segments inline until at most target retained pages
+// remain, charging the full simulated cost to the returned time. This is
+// the synchronous baseline and the Pressure escalation path.
+func (r *RSSD) offloadToSync(target int, at simclock.Time) (simclock.Time, error) {
+	if r.client == nil {
+		return at, ErrNoRemote
+	}
+	for len(r.retained) > target {
+		batch := r.popRetained(r.cfg.SegmentMaxPages, len(r.retained)-target)
+		if len(batch) == 0 {
+			break
+		}
+		var err error
+		if at, err = r.shipSync(batch, at); err != nil {
 			return at, err
 		}
 	}
 	return at, nil
 }
 
-// offloadTo ships segments until at most target retained pages remain
-// locally. It returns the number of pages shipped.
-func (r *RSSD) offloadTo(target int, at simclock.Time) (int, error) {
-	if r.client == nil {
-		return 0, ErrNoRemote
+// shipSync builds and pushes one segment inline, waiting for the
+// durability ack before releasing pins (zero-data-loss ordering) and
+// charging seal plus transfer time to the returned host time.
+func (r *RSSD) shipSync(batch []*retEntry, at simclock.Time) (simclock.Time, error) {
+	st, err := r.buildSegment(batch, at)
+	if err != nil {
+		r.requeue(batch)
+		r.stagedUpTo = r.offloadedUpTo
+		return at, fmt.Errorf("core: seal segment: %w", err)
 	}
-	shipped := 0
+	if err := r.client.PushSegment(st.seg); err != nil {
+		// The batch was not acked: re-pin nothing (we only release after
+		// ack), but put the entries back at the queue head so a retry
+		// ships the same data.
+		r.requeue(batch)
+		r.stagedUpTo = r.offloadedUpTo
+		return at, err
+	}
+	st.ackAt = simclock.Max(st.sealedAt, at).Add(r.xferTime(st.bytes))
+	r.releaseSegment(st)
+	return st.ackAt, nil
+}
+
+// dropTo destroys the oldest retained versions without offload. Only the
+// offline degradation path uses it; each drop is recorded because it is
+// exactly the data-loss event RSSD exists to prevent.
+func (r *RSSD) dropTo(target int) {
 	for len(r.retained) > target {
-		batch := r.popRetained(r.cfg.SegmentMaxPages, len(r.retained)-target)
-		if len(batch) == 0 {
-			break
+		re := r.popOldest()
+		if re == nil {
+			return
 		}
-		if err := r.shipSegment(batch, at); err != nil {
-			// The batch was not acked: re-pin nothing (we only release
-			// after ack), but put the entries back at the queue head so
-			// a retry ships the same data.
-			r.requeue(batch)
-			return shipped, err
+		if err := r.f.Release(re.ppn); err == nil {
+			r.stats.ReleasedPins++
 		}
-		shipped += len(batch)
+		re.released = true
+		delete(r.retained, re.ppn)
+		r.removeFromLPNIndex(re)
+		r.stats.DroppedPages++
 	}
-	r.lastOffloadErr = nil
-	return shipped, nil
 }
 
 // popRetained removes up to min(max, want) oldest live retained entries
@@ -125,84 +239,6 @@ func (r *RSSD) requeue(batch []*retEntry) {
 	newQueue = append(newQueue, r.retQueue[r.retHead:]...)
 	r.retQueue = newQueue
 	r.retHead = 0
-}
-
-// shipSegment builds and pushes one segment carrying the given retained
-// pages (may be nil) plus the next run of log entries, then — only after
-// the durability ack — releases the local pins. This "ack before release"
-// ordering is the zero-data-loss invariant.
-func (r *RSSD) shipSegment(batch []*retEntry, at simclock.Time) error {
-	to := r.log.NextSeq()
-	if to > r.offloadedUpTo+maxEntriesPerSegment {
-		to = r.offloadedUpTo + maxEntriesPerSegment
-	}
-	entries := r.log.Entries(r.offloadedUpTo, to)
-	seg := &oplog.Segment{
-		DeviceID: r.cfg.DeviceID,
-		FirstSeq: r.offloadedUpTo,
-		LastSeq:  to,
-	}
-	seg.Entries = entries
-	if len(entries) > 0 {
-		seg.FirstTime = entries[0].At
-		seg.LastTime = entries[len(entries)-1].At
-	}
-	start := at
-	for _, re := range batch {
-		// Background lane: the offload engine's flash reads fill host idle
-		// gaps (read-suspend priority) rather than delaying host I/O.
-		data, _, done, err := r.f.ReadPhysicalBackground(re.ppn, at)
-		if err != nil {
-			return fmt.Errorf("core: read retained ppn %d: %w", re.ppn, err)
-		}
-		r.stats.OffloadLatency += done.Sub(start)
-		seg.Pages = append(seg.Pages, oplog.PageRecord{
-			LPN:      re.lpn,
-			WriteSeq: re.writeSeq,
-			StaleSeq: re.staleSeq,
-			Cause:    uint8(re.cause),
-			Hash:     oplog.HashData(data),
-			Data:     data,
-		})
-	}
-	if err := r.client.PushSegment(seg); err != nil {
-		return err
-	}
-	// Durable: release local pins and forget the versions locally.
-	for _, re := range batch {
-		if err := r.f.Release(re.ppn); err == nil {
-			r.stats.ReleasedPins++
-		}
-		re.released = true
-		delete(r.retained, re.ppn)
-		r.removeFromLPNIndex(re)
-		r.stats.OffloadPages++
-		r.stats.OffloadBytes += uint64(r.f.PageSize())
-	}
-	r.stats.OffloadSegments++
-	r.stats.OffloadEntries += uint64(len(entries))
-	r.offloadedUpTo = to
-	r.log.Prune(r.offloadedUpTo)
-	return nil
-}
-
-// dropTo destroys the oldest retained versions without offload. Only the
-// offline degradation path uses it; each drop is recorded because it is
-// exactly the data-loss event RSSD exists to prevent.
-func (r *RSSD) dropTo(target int) {
-	for len(r.retained) > target {
-		re := r.popOldest()
-		if re == nil {
-			return
-		}
-		if err := r.f.Release(re.ppn); err == nil {
-			r.stats.ReleasedPins++
-		}
-		re.released = true
-		delete(r.retained, re.ppn)
-		r.removeFromLPNIndex(re)
-		r.stats.DroppedPages++
-	}
 }
 
 // popOldest pops the oldest live retained entry, or nil.

@@ -74,6 +74,9 @@ func Reopen(cfg Config, dev *nand.Device, client *remote.Client) (*RSSD, error) 
 	if cfg.SegmentMaxPages <= 0 {
 		cfg.SegmentMaxPages = 128
 	}
+	if cfg.OffloadQueueDepth <= 0 {
+		cfg.OffloadQueueDepth = 8
+	}
 	r := &RSSD{
 		cfg:           cfg,
 		log:           oplog.ResumeFrom(head.NextSeq, head.Hash),
@@ -81,6 +84,7 @@ func Reopen(cfg Config, dev *nand.Device, client *remote.Client) (*RSSD, error) 
 		retained:      map[uint64]*retEntry{},
 		retByLPN:      map[uint64][]*retEntry{},
 		offloadedUpTo: head.NextSeq,
+		stagedUpTo:    head.NextSeq,
 	}
 
 	// Classify every programmed page from its OOB stamp + the replayed

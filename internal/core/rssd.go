@@ -55,38 +55,74 @@ type Config struct {
 	// attached and retention pressure builds: true drops the oldest
 	// retained pages (LocalSSD-like degradation), false fails writes.
 	DropWhenOffline bool
+	// OffloadQueueDepth bounds the asynchronous engine's staging queue
+	// (sealed segments awaiting transfer). When the queue is full the
+	// host stalls until the oldest segment resolves — the backpressure
+	// point of the pipeline. Default 8.
+	OffloadQueueDepth int
+	// SyncOffload reverts to inline synchronous offload: segments are
+	// shipped on the host path with seal + transfer time charged to host
+	// I/O. It is the baseline the fleet experiment compares the
+	// asynchronous engine against.
+	SyncOffload bool
+	// OffloadLinkRTT and OffloadLinkMBps model the NVMe-oE link the
+	// offload engine owns: one segment transfer costs
+	// RTT + bytes/bandwidth of simulated time, serialized on the link.
+	// Defaults: 30µs, 1200 MB/s.
+	OffloadLinkRTT  simclock.Duration
+	OffloadLinkMBps float64
 }
 
 // DefaultConfig returns the configuration used across the evaluation.
 func DefaultConfig() Config {
 	return Config{
-		FTL:              ftl.DefaultConfig(),
-		DeviceID:         1,
-		OffloadHighWater: 0.70,
-		OffloadLowWater:  0.40,
-		SegmentMaxPages:  128,
-		CheckpointEvery:  4096,
-		ReadLogSampling:  1,
-		DropWhenOffline:  true,
+		FTL:               ftl.DefaultConfig(),
+		DeviceID:          1,
+		OffloadHighWater:  0.70,
+		OffloadLowWater:   0.40,
+		SegmentMaxPages:   128,
+		CheckpointEvery:   4096,
+		ReadLogSampling:   1,
+		DropWhenOffline:   true,
+		OffloadQueueDepth: 8,
+		OffloadLinkRTT:    30 * simclock.Microsecond,
+		OffloadLinkMBps:   1200,
 	}
 }
 
 // Stats aggregates RSSD-level counters on top of the FTL's.
 type Stats struct {
-	HostWrites        uint64
-	HostReads         uint64
-	HostTrims         uint64
-	RetainedNow       int
-	OffloadSegments   uint64
-	OffloadPages      uint64
-	OffloadBytes      uint64 // uncompressed page bytes shipped
-	OffloadEntries    uint64
-	ReleasedPins      uint64
-	DroppedPages      uint64 // retained pages destroyed without offload (offline mode only)
-	Checkpoints       uint64
-	PressureEvents    uint64
-	OffloadErrors     uint64            // background offload failures (retried)
-	OffloadLatency    simclock.Duration // simulated device time spent in synchronous offload
+	HostWrites      uint64
+	HostReads       uint64
+	HostTrims       uint64
+	RetainedNow     int
+	OffloadSegments uint64
+	OffloadPages    uint64
+	OffloadBytes    uint64 // uncompressed page bytes shipped
+	OffloadEntries  uint64
+	ReleasedPins    uint64
+	DroppedPages    uint64 // retained pages destroyed without offload (offline mode only)
+	Checkpoints     uint64
+	PressureEvents  uint64
+	OffloadErrors   uint64 // background offload failures (retried)
+	// OffloadLatency is the total simulated time the offload engine spent
+	// moving data — background-lane flash reads plus link transfers. In
+	// the asynchronous mode none of it is charged to host I/O; in
+	// SyncOffload mode the same quantity rides the host path.
+	OffloadLatency simclock.Duration
+	// OffloadAckTime is the cumulative seal-to-ack span over acked
+	// segments; OffloadAckTime / OffloadSegments is the mean ack latency.
+	OffloadAckTime simclock.Duration
+	// OffloadStalls / OffloadStallTime count host stalls from staging-
+	// queue backpressure (the queue was full, the host waited for an ack).
+	OffloadStalls    uint64
+	OffloadStallTime simclock.Duration
+	// OffloadQueuePeak is the deepest the staging pipeline ever got.
+	OffloadQueuePeak int
+	// OffloadInFlight is the current number of staged, unacked pages.
+	OffloadInFlight int
+	// OffloadRetries counts failed segment batches requeued for retry.
+	OffloadRetries uint64
 	// LastOffloadError is the most recent background offload/checkpoint
 	// failure ("" when the last attempt succeeded) — the SMART-log style
 	// surfacing of errors that never reach host I/O.
@@ -120,12 +156,15 @@ type RSSD struct {
 
 	lpnWriteSeq []uint64 // seq of the latest write per LPN (NoSeq if none)
 
-	curStaleSeq   uint64 // seq to attribute OnStale events to
-	curStaleAt    simclock.Time
-	offloadedUpTo  uint64 // log entries below this are durably remote
+	curStaleSeq    uint64 // seq to attribute OnStale events to
+	curStaleAt     simclock.Time
+	offloadedUpTo  uint64 // log entries below this are durably remote (acked)
+	stagedUpTo     uint64 // log entries below this are sealed into segments
 	opsSinceCP     uint64
 	readCounter    uint64
 	lastOffloadErr error
+
+	engine *offloadEngine // asynchronous offload pipeline (lazy; nil in sync mode)
 
 	stats Stats
 }
@@ -150,6 +189,9 @@ func New(cfg Config, client *remote.Client) *RSSD {
 	if cfg.SegmentMaxPages <= 0 {
 		cfg.SegmentMaxPages = 128
 	}
+	if cfg.OffloadQueueDepth <= 0 {
+		cfg.OffloadQueueDepth = 8
+	}
 	r := &RSSD{
 		cfg:      cfg,
 		log:      oplog.New(),
@@ -165,8 +207,13 @@ func New(cfg Config, client *remote.Client) *RSSD {
 	return r
 }
 
-// AttachRemote connects the offload engine to a remote server session.
-func (r *RSSD) AttachRemote(client *remote.Client) { r.client = client }
+// AttachRemote connects the offload engine to a remote server session,
+// retiring any engine bound to the previous session first (outstanding
+// completions are settled so no pin is orphaned).
+func (r *RSSD) AttachRemote(client *remote.Client) {
+	r.stopEngine()
+	r.client = client
+}
 
 // FTL exposes the underlying translation layer (read-mostly: stats,
 // geometry, capacity).
@@ -182,6 +229,9 @@ func (r *RSSD) DeviceID() uint64 { return r.cfg.DeviceID }
 func (r *RSSD) Stats() Stats {
 	s := r.stats
 	s.RetainedNow = len(r.retained)
+	if r.engine != nil {
+		s.OffloadInFlight = r.engine.pagesInFlight
+	}
 	if r.lastOffloadErr != nil {
 		s.LastOffloadError = r.lastOffloadErr.Error()
 	}
@@ -312,7 +362,11 @@ func (r *RSSD) OnMigrate(lpn, oldPPN, newPPN uint64, at simclock.Time) {
 func (r *RSSD) OnErased(lpn, ppn uint64, at simclock.Time) {}
 
 // Pressure is the FTL telling us pins are blocking reclamation. Offload
-// (or, offline, drop) until the requested pages are free.
+// (or, offline, drop) until the requested pages are free. This is the one
+// place the asynchronous engine goes synchronous: the FTL needs pins
+// actually released before GC can make progress, so the pipeline is
+// staged full and drained inline (the stall is recorded, not charged —
+// Pressure has no completion time to report).
 func (r *RSSD) Pressure(needPages int, at simclock.Time) {
 	r.stats.PressureEvents++
 	target := len(r.retained) - needPages
@@ -320,8 +374,30 @@ func (r *RSSD) Pressure(needPages int, at simclock.Time) {
 		target = 0
 	}
 	if r.client != nil {
-		if _, err := r.offloadTo(target, at); err == nil {
-			return
+		if r.cfg.SyncOffload {
+			if _, err := r.offloadToSync(target, at); err == nil {
+				return
+			}
+			r.stats.OffloadErrors++
+		} else {
+			r.pollOffload(at)
+			// Two rounds: if a failure epoch is pending, the first round's
+			// drain requeues the failed batches and clears the epoch, and
+			// the second actually retries the offload — pages are only
+			// dropped after a real attempt failed, matching the old inline
+			// path. stage() itself charges queue-full stalls, so only the
+			// drain span is added here.
+			for attempt := 0; attempt < 2; attempt++ {
+				staged := r.stageTo(target, at)
+				end := r.drainOffload(staged)
+				if end > staged {
+					r.stats.OffloadStallTime += end.Sub(staged)
+				}
+				at = end
+				if len(r.retained) <= target {
+					return
+				}
+			}
 		}
 	}
 	if r.cfg.DropWhenOffline {

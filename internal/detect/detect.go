@@ -58,9 +58,9 @@ type Config struct {
 	// been read-then-encrypted or read-then-trimmed, however slowly.
 	CumulativeVictims int
 	// Weights for the window ensemble.
-	WeightEntropy float64
-	WeightReadOW  float64
-	WeightTrim    float64
+	WeightEntropy  float64
+	WeightReadOW   float64
+	WeightTrim     float64
 	WeightZeroWipe float64
 	// PageSize enables the zero-wipe signal: overwrites whose content is
 	// exactly one zero page (wiper malware writes low-entropy data that
@@ -99,6 +99,7 @@ type event struct {
 }
 
 type devState struct {
+	mu          sync.Mutex
 	recentReads map[uint64]uint64 // lpn -> last read seq
 	window      []event
 	wHead       int
@@ -111,16 +112,21 @@ type devState struct {
 }
 
 // Engine consumes operation-log entries (typically via a remote.Store
-// hook) and raises alerts.
+// subscription) and raises alerts. Like the remote store it is sharded
+// per device: each device's sliding window sits behind its own lock, so a
+// fleet of sessions streams through detection concurrently — one device's
+// analysis never stalls another's ingest.
 type Engine struct {
 	cfg      Config
 	zeroHash [oplog.HashSize]byte
 	zeroOK   bool
 
-	mu      sync.Mutex
+	mu      sync.RWMutex // guards the device directory
 	devices map[uint64]*devState
+
+	alertMu sync.Mutex
 	alerts  []Alert
-	// OnAlert, when set, is invoked (outside the lock) for each alert.
+	// OnAlert, when set, is invoked (outside the locks) for each alert.
 	OnAlert func(Alert)
 }
 
@@ -137,33 +143,58 @@ func NewEngine(cfg Config) *Engine {
 	return e
 }
 
-// Attach hooks the engine into a remote store so every ingested segment is
-// analyzed — the paper's "offload detection to remote servers".
+// Attach subscribes the engine to a remote store so every ingested
+// segment is analyzed as it streams in — the paper's "offload detection to
+// remote servers", run at ingest time rather than as after-the-fact batch
+// queries.
 func (e *Engine) Attach(store *remote.Store) {
-	store.OnSegment = func(deviceID uint64, seg *oplog.Segment) {
+	store.Subscribe(func(deviceID uint64, seg *oplog.Segment) {
 		e.Observe(deviceID, seg.Entries)
-	}
+	})
 }
 
 // Alerts returns all alerts raised so far.
 func (e *Engine) Alerts() []Alert {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.alertMu.Lock()
+	defer e.alertMu.Unlock()
 	return append([]Alert(nil), e.alerts...)
+}
+
+// AlertsFor returns the alerts raised against one device.
+func (e *Engine) AlertsFor(deviceID uint64) []Alert {
+	e.alertMu.Lock()
+	defer e.alertMu.Unlock()
+	var out []Alert
+	for _, a := range e.alerts {
+		if a.DeviceID == deviceID {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Reset clears a device's alert latch (after an investigation concludes).
 func (e *Engine) Reset(deviceID uint64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if d, ok := e.devices[deviceID]; ok {
+	e.mu.RLock()
+	d, ok := e.devices[deviceID]
+	e.mu.RUnlock()
+	if ok {
+		d.mu.Lock()
 		d.alerted = false
+		d.mu.Unlock()
 	}
 }
 
 func (e *Engine) dev(id uint64) *devState {
+	e.mu.RLock()
 	d, ok := e.devices[id]
-	if !ok {
+	e.mu.RUnlock()
+	if ok {
+		return d
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok = e.devices[id]; !ok {
 		d = &devState{
 			recentReads: map[uint64]uint64{},
 			window:      make([]event, e.cfg.Window),
@@ -174,17 +205,18 @@ func (e *Engine) dev(id uint64) *devState {
 	return d
 }
 
-// Observe feeds entries (in log order) through the ensemble.
+// Observe feeds entries (in log order) through the ensemble. Only the
+// device's own shard is locked, so a fleet streams concurrently.
 func (e *Engine) Observe(deviceID uint64, entries []oplog.Entry) {
 	var fired []Alert
-	e.mu.Lock()
 	d := e.dev(deviceID)
+	d.mu.Lock()
 	for i := range entries {
 		if a, ok := e.observeOne(deviceID, d, &entries[i]); ok {
 			fired = append(fired, a)
 		}
 	}
-	e.mu.Unlock()
+	d.mu.Unlock()
 	if e.OnAlert != nil {
 		for _, a := range fired {
 			e.OnAlert(a)
@@ -252,7 +284,9 @@ func (e *Engine) observeOne(deviceID uint64, d *devState, en *oplog.Entry) (Aler
 func (e *Engine) fire(deviceID uint64, d *devState, en *oplog.Entry, score float64, reasons []string) Alert {
 	d.alerted = true
 	a := Alert{DeviceID: deviceID, AtSeq: en.Seq, At: en.At, Score: score, Reasons: reasons}
+	e.alertMu.Lock()
 	e.alerts = append(e.alerts, a)
+	e.alertMu.Unlock()
 	return a
 }
 
@@ -302,7 +336,7 @@ func Calibrate(cfg Config, benign []oplog.Entry, floor float64) Config {
 		cfg = DefaultConfig()
 	}
 	probe := NewEngine(cfg)
-	probe.cfg.Threshold = 2.0          // never fire
+	probe.cfg.Threshold = 2.0             // never fire
 	probe.cfg.CumulativeVictims = 1 << 40 // never fire
 	d := probe.dev(0)
 	peak := 0.0

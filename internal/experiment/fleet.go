@@ -1,0 +1,323 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/host"
+	"repro/internal/metrics"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// The fleet experiment is the end-to-end exercise of the asynchronous
+// offload pipeline: N devices — each a full RSSD with its own staging
+// engine — stream segments concurrently into one server over net.Pipe
+// NVMe-oE sessions, the store ingests them on sharded per-device indexes,
+// and the detection pipeline scores every device's window as segments
+// arrive. Half the devices additionally run a ransomware variant
+// (encryptor, timing attack, trimming attack, cycled); streaming detection
+// must catch each of them with no false alerts on the benign traffic.
+//
+// The same fleet is then rerun with SyncOffload devices — the inline
+// baseline that charges seal + transfer time to host I/O — to measure what
+// overlapping the transfer buys in host batch latency.
+
+// fleetProfiles are the benign replay workloads cycled across the fleet.
+// They are low-entropy members of the corpus: live-traffic detection must
+// stay false-positive free, so their page content sits clearly below the
+// ciphertext entropy threshold.
+var fleetProfiles = []string{"hm", "src", "usr"}
+
+// fleetAttacks cycles over the attacked devices.
+var fleetAttacks = []AttackName{AtkEncryptor, AtkTiming, AtkTrimming}
+
+// fleetScale shrinks the per-device geometry: a fleet multiplies the
+// footprint by N, and a tighter device keeps the offload watermarks in
+// play during the replay itself rather than only at the final flush.
+func fleetScale(s Scale) Scale {
+	s.BlocksPerPlane /= 4
+	if s.BlocksPerPlane < 16 {
+		s.BlocksPerPlane = 16
+	}
+	return s
+}
+
+// FleetDeviceRow reports one device of the fleet.
+type FleetDeviceRow struct {
+	Device         uint64
+	Role           string // workload profile, "+<attack>" when attacked
+	Attacked       bool
+	Records        int     // replay records (the measured phase)
+	PageOps        int     // host page operations across all phases
+	MeanLatUs      float64 // host batch latency during replay
+	P99LatUs       float64
+	ReplaySegments uint64  // segments shipped while host I/O was running
+	Segments       uint64  // total segments shipped (incl. final flush)
+	AckLatUs       float64 // mean seal-to-ack latency
+	QueuePeak      int     // deepest staging-pipeline occupancy
+	Stalls         uint64  // host stalls from staging backpressure
+	Detected       bool
+	OpsToAlert     uint64
+	FalseAlerts    int
+}
+
+// FleetSummary aggregates the fleet run and its synchronous baseline.
+type FleetSummary struct {
+	Devices        int
+	Attacked       int
+	Caught         int
+	FalseAlerts    int
+	PageOps        int
+	Segments       uint64
+	WallMs         float64
+	PageOpsPerSec  float64 // fleet host throughput (wall clock)
+	SegmentsPerSec float64 // fleet ingest rate (wall clock)
+	MeanLatUs      float64 // mean host batch latency, async engine
+	SyncMeanLatUs  float64 // same fleet, SyncOffload baseline
+	OverlapSpeedup float64 // SyncMeanLatUs / MeanLatUs
+}
+
+// FleetResult is the full fleet report.
+type FleetResult struct {
+	Rows    []FleetDeviceRow
+	Summary FleetSummary
+}
+
+// fleetPass is one fleet execution (async or baseline).
+type fleetPass struct {
+	rows     []FleetDeviceRow
+	wall     time.Duration
+	totalLat simclock.Duration
+	records  int
+	pageOps  int
+	segments uint64
+}
+
+// Fleet runs the fleet scenario and its synchronous baseline.
+func Fleet(s Scale, devices int) (*FleetResult, error) {
+	s = fleetScale(s)
+	async, err := runFleet(s, devices, false, true)
+	if err != nil {
+		return nil, fmt.Errorf("fleet async: %w", err)
+	}
+	base, err := runFleet(s, devices, true, false)
+	if err != nil {
+		return nil, fmt.Errorf("fleet sync baseline: %w", err)
+	}
+	sum := FleetSummary{
+		Devices:  devices,
+		PageOps:  async.pageOps,
+		Segments: async.segments,
+		WallMs:   float64(async.wall.Microseconds()) / 1000,
+	}
+	for _, row := range async.rows {
+		if row.Attacked {
+			sum.Attacked++
+			if row.Detected {
+				sum.Caught++
+			}
+		}
+		sum.FalseAlerts += row.FalseAlerts
+	}
+	if async.records > 0 {
+		sum.MeanLatUs = float64(async.totalLat) / float64(async.records) / 1000
+	}
+	if base.records > 0 {
+		sum.SyncMeanLatUs = float64(base.totalLat) / float64(base.records) / 1000
+	}
+	if sum.MeanLatUs > 0 {
+		sum.OverlapSpeedup = sum.SyncMeanLatUs / sum.MeanLatUs
+	}
+	if secs := async.wall.Seconds(); secs > 0 {
+		sum.PageOpsPerSec = float64(async.pageOps) / secs
+		sum.SegmentsPerSec = float64(async.segments) / secs
+	}
+	return &FleetResult{Rows: async.rows, Summary: sum}, nil
+}
+
+// runFleet executes one pass: every device runs concurrently against one
+// shared server, replaying its benign trace and (when withAttacks) its
+// assigned ransomware variant.
+func runFleet(s Scale, devices int, syncOffload, withAttacks bool) (*fleetPass, error) {
+	if devices <= 0 {
+		devices = 8
+	}
+	store := remote.NewStore(remote.NewMemStore())
+	srv := remote.NewServer(store, PSK)
+	engine := detect.NewEngine(detectConfig(s))
+	engine.Attach(store)
+
+	rows := make([]FleetDeviceRow, devices)
+	errs := make([]error, devices)
+	var wg sync.WaitGroup
+	start := time.Now()
+	attackIdx := 0
+	for i := 0; i < devices; i++ {
+		var atk attack.Attack
+		if withAttacks && i%2 == 1 {
+			atk = makeAttack(fleetAttacks[attackIdx%len(fleetAttacks)])
+			attackIdx++
+		}
+		wg.Add(1)
+		go func(i int, atk attack.Attack) {
+			defer wg.Done()
+			rows[i], errs[i] = runFleetDevice(s, srv, engine, uint64(i+1), i, atk, syncOffload)
+		}(i, atk)
+	}
+	wg.Wait()
+	pass := &fleetPass{rows: rows, wall: time.Since(start)}
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("device %d: %w", i+1, errs[i])
+		}
+	}
+	for _, row := range rows {
+		pass.records += row.Records
+		pass.pageOps += row.PageOps
+		pass.segments += row.Segments
+		pass.totalLat += simclock.Duration(row.MeanLatUs * 1000 * float64(row.Records))
+	}
+	return pass, nil
+}
+
+// runFleetDevice drives one device of the fleet: benign replay (measured),
+// then the assigned attack (streamed to detection), then a final flush.
+func runFleetDevice(s Scale, srv *remote.Server, engine *detect.Engine, deviceID uint64, idx int, atk attack.Attack, syncOffload bool) (FleetDeviceRow, error) {
+	row := FleetDeviceRow{Device: deviceID}
+	client, err := remote.Loopback(srv, PSK, deviceID)
+	if err != nil {
+		return row, err
+	}
+	defer client.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.FTL = s.ftlConfig()
+	cfg.DeviceID = deviceID
+	cfg.SyncOffload = syncOffload
+	// Fleet devices drain eagerly: a device backing a shared server keeps
+	// its retention backlog small, which also keeps the offload pipeline —
+	// the thing this experiment measures — continuously busy.
+	cfg.OffloadHighWater = 0.50
+	cfg.OffloadLowWater = 0.25
+	dev := core.New(cfg, client)
+	defer dev.Close()
+	fs := host.NewFlatFS(dev, simclock.NewClock())
+
+	profName := fleetProfiles[idx%len(fleetProfiles)]
+	row.Role = profName
+	prof, ok := workload.ProfileByName(profName)
+	if !ok {
+		return row, fmt.Errorf("unknown workload %q", profName)
+	}
+
+	// Phase 1 — benign replay through the batched datapath, measured.
+	replayOps := s.TraceOps / 8
+	if replayOps < 400 {
+		replayOps = 400
+	}
+	g := workload.NewGenerator(prof, s.PageSize, dev.LogicalPages(), int64(1000+idx))
+	h := metrics.NewHistogram(0)
+	var ops []batch.Op
+	var end simclock.Time
+	for j := 0; j < replayOps; j++ {
+		rec := g.Next()
+		ops = recordBatch(g, rec, dev.LogicalPages(), ops[:0])
+		if len(ops) == 0 {
+			continue
+		}
+		done, err := submitRecord(dev, ops, rec.At)
+		if err != nil {
+			return row, err
+		}
+		h.Observe(done.Sub(rec.At))
+		end = simclock.Max(end, done)
+		row.Records++
+	}
+	row.MeanLatUs = float64(h.Mean()) / 1000
+	row.P99LatUs = float64(h.Percentile(99)) / 1000
+	row.ReplaySegments = dev.Stats().OffloadSegments
+
+	// Phase 2 — the assigned ransomware variant, on a filesystem whose
+	// clock continues from the replay.
+	attackStart := ^uint64(0)
+	if atk != nil {
+		row.Attacked = true
+		row.Role = profName + "+" + atk.Name()
+		fs.Clock().AdvanceTo(end)
+		rng := rand.New(rand.NewSource(int64(77 + idx)))
+		if _, _, err := seedAndSnapshot(fs, rng, s); err != nil {
+			return row, err
+		}
+		// Flush the pre-attack history: anything detection flags in it is
+		// a false alert, not attack coverage.
+		if _, err := dev.OffloadNow(fs.Clock().Now()); err != nil {
+			return row, err
+		}
+		attackStart = dev.Log().NextSeq()
+		if _, err := atk.Run(fs, rng); err != nil {
+			return row, err
+		}
+	}
+
+	// Phase 3 — final flush so detection has seen the full history.
+	if _, err := dev.OffloadNow(fs.Clock().Now()); err != nil {
+		return row, err
+	}
+
+	st := dev.Stats()
+	// PageOps covers every phase (replay, corpus seeding, attack): the
+	// wall-clock throughput below divides by a wall that spans them all.
+	row.PageOps = int(st.HostWrites + st.HostReads + st.HostTrims)
+	row.Segments = st.OffloadSegments
+	row.QueuePeak = st.OffloadQueuePeak
+	row.Stalls = st.OffloadStalls
+	if st.OffloadSegments > 0 {
+		row.AckLatUs = float64(st.OffloadAckTime) / float64(st.OffloadSegments) / 1000
+	}
+	for _, a := range engine.AlertsFor(deviceID) {
+		if a.AtSeq >= attackStart {
+			if !row.Detected {
+				row.Detected = true
+				row.OpsToAlert = a.AtSeq - attackStart
+			}
+		} else {
+			row.FalseAlerts++
+		}
+	}
+	return row, nil
+}
+
+// RenderFleet renders the per-device table and the fleet summary.
+func RenderFleet(res *FleetResult) string {
+	tb := metrics.NewTable("device", "role", "records", "page ops",
+		"mean lat µs", "p99 lat µs", "segs (replay/total)", "ack µs",
+		"q peak", "stalls", "detected", "ops to alert", "false alerts")
+	for _, r := range res.Rows {
+		det := "-"
+		if r.Detected {
+			det = "caught"
+		} else if r.Attacked {
+			det = "MISSED"
+		}
+		tb.AddRow(r.Device, r.Role, r.Records, r.PageOps,
+			r.MeanLatUs, r.P99LatUs,
+			fmt.Sprintf("%d/%d", r.ReplaySegments, r.Segments),
+			r.AckLatUs, r.QueuePeak, r.Stalls, det, r.OpsToAlert, r.FalseAlerts)
+	}
+	s := res.Summary
+	return tb.String() + fmt.Sprintf(
+		"fleet: %d devices (%d attacked, %d caught, %d false alerts), %d page ops in %.1f ms wall\n"+
+			"       %.0f page ops/s, %.0f segments/s ingested (%d segments)\n"+
+			"       host batch latency: async %.2f µs vs sync-offload baseline %.2f µs (%.2fx)\n",
+		s.Devices, s.Attacked, s.Caught, s.FalseAlerts, s.PageOps, s.WallMs,
+		s.PageOpsPerSec, s.SegmentsPerSec, s.Segments,
+		s.MeanLatUs, s.SyncMeanLatUs, s.OverlapSpeedup)
+}

@@ -18,14 +18,18 @@ const (
 	CodeInternal = 500
 )
 
-// Server accepts NVMe-oE sessions from devices and serves the Store.
+// Server accepts NVMe-oE sessions from devices and serves the Store. Every
+// connection gets its own goroutine, and because the Store's indexes are
+// sharded per device, sessions make progress independently — the server is
+// the fan-in point of the fleet, not a serialization point.
 type Server struct {
 	Store *Store
 	// LookupPSK maps an enrolled device ID to its pre-shared key.
 	LookupPSK func(deviceID uint64) ([]byte, bool)
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
+	mu            sync.Mutex
+	conns         map[net.Conn]uint64 // active session -> device ID
+	sessionsTotal uint64
 }
 
 // NewServer returns a server over store that accepts any device presenting
@@ -34,7 +38,7 @@ func NewServer(store *Store, psk []byte) *Server {
 	return &Server{
 		Store:     store,
 		LookupPSK: func(uint64) ([]byte, bool) { return psk, true },
-		conns:     map[net.Conn]struct{}{},
+		conns:     map[net.Conn]uint64{},
 	}
 }
 
@@ -49,6 +53,51 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// ActiveSessions returns the number of authenticated device sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// SessionsTotal returns how many sessions ever authenticated.
+func (s *Server) SessionsTotal() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessionsTotal
+}
+
+// Close terminates every active session; devices see a transport error
+// and requeue their in-flight segments. Close is a drain, not a shutdown
+// latch: connections accepted afterwards are served normally.
+func (s *Server) Close() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	s.mu.Unlock()
+	for _, nc := range conns {
+		nc.Close()
+	}
+}
+
+// track registers an authenticated session, returning its deregister.
+func (s *Server) track(nc net.Conn, deviceID uint64) func() {
+	s.mu.Lock()
+	if s.conns == nil {
+		s.conns = map[net.Conn]uint64{} // Server built as a literal
+	}
+	s.conns[nc] = deviceID
+	s.sessionsTotal++
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}
+}
+
 // HandleConn authenticates one device connection and serves its requests
 // until it disconnects. Exported so tests and in-process wiring can drive
 // a single net.Pipe end without a listener.
@@ -58,6 +107,7 @@ func (s *Server) HandleConn(nc net.Conn) {
 	if err != nil {
 		return
 	}
+	defer s.track(nc, deviceID)()
 	for {
 		typ, body, err := conn.ReadMsg()
 		if err != nil {
@@ -169,7 +219,9 @@ type RemoteError struct {
 	Text string
 }
 
-func (e *RemoteError) Error() string { return fmt.Sprintf("remote: server error %d: %s", e.Code, e.Text) }
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote: server error %d: %s", e.Code, e.Text)
+}
 
 func (c *Client) roundTrip(t nvmeoe.MsgType, payload []byte, wantResp nvmeoe.MsgType) ([]byte, error) {
 	c.mu.Lock()

@@ -12,17 +12,30 @@ import (
 // Store indexes offloaded segments per device. Segments must arrive in
 // time order with an unbroken hash chain — the ingest check is what turns
 // "a pile of blobs" into a trusted evidence chain.
+//
+// The indexes are sharded per device: the Store-level lock only guards
+// the device directory (and the subscriber list), while each device's log,
+// version, and checkpoint indexes sit behind that device's own lock.
+// Ingest from N devices therefore proceeds concurrently — one slow or
+// chatty device never serializes the fleet.
 type Store struct {
 	mu      sync.RWMutex
 	blobs   ObjectStore
 	devices map[uint64]*deviceLog
-	// OnSegment, when set, is invoked after each accepted segment. The
-	// offloaded ransomware-detection pipeline (internal/detect) hooks in
-	// here, exactly as the paper runs detection on the remote server.
+	subs    []func(deviceID uint64, seg *oplog.Segment)
+	// OnSegment, when set, is invoked after each accepted segment, like a
+	// subscriber registered first. Prefer Subscribe, which supports
+	// multiple consumers; the field remains for single-consumer wiring.
+	//
+	// Contract change with sharded ingest: the hook now runs with the
+	// ingesting device's shard write-locked (that is what guarantees
+	// per-device delivery order), so — exactly like a subscriber — it must
+	// not call back into the Store for the same device.
 	OnSegment func(deviceID uint64, seg *oplog.Segment)
 }
 
 type deviceLog struct {
+	mu          sync.RWMutex
 	entries     []oplog.Entry // contiguous from seq entriesBase
 	entriesBase uint64
 	nextSeq     uint64
@@ -38,37 +51,77 @@ func NewStore(blobs ObjectStore) *Store {
 	return &Store{blobs: blobs, devices: map[uint64]*deviceLog{}}
 }
 
+// Subscribe registers a segment-ingest hook; every accepted segment is
+// delivered, per device in ingest order. The streaming detection pipeline
+// (internal/detect) registers here, exactly as the paper runs detection on
+// the remote server. Subscribers run on the ingesting session's goroutine
+// with that device's shard locked, so they must not call back into the
+// Store for the same device.
+func (s *Store) Subscribe(fn func(deviceID uint64, seg *oplog.Segment)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs = append(s.subs, fn)
+}
+
+// dev returns the device's shard, creating it on first contact.
 func (s *Store) dev(id uint64) *deviceLog {
+	s.mu.RLock()
 	d, ok := s.devices[id]
-	if !ok {
+	s.mu.RUnlock()
+	if ok {
+		return d
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok = s.devices[id]; !ok {
 		d = &deviceLog{versions: map[uint64][]oplog.PageRecord{}}
 		s.devices[id] = d
 	}
 	return d
 }
 
+// lookup returns the device's shard without creating it.
+func (s *Store) lookup(id uint64) (*deviceLog, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.devices[id]
+	return d, ok
+}
+
+// Devices returns the IDs of every device with ingested state.
+func (s *Store) Devices() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint64, 0, len(s.devices))
+	for id := range s.devices {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // AppendSegment verifies and ingests one offloaded segment: page hashes
 // must match, and the entries must extend the device's chain exactly.
+// Only the segment's own device shard is locked, so ingest from different
+// devices runs concurrently.
 func (s *Store) AppendSegment(seg *oplog.Segment) error {
 	if err := seg.VerifyPages(); err != nil {
 		return fmt.Errorf("remote: reject segment: %w", err)
 	}
-	s.mu.Lock()
 	d := s.dev(seg.DeviceID)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(seg.Entries) > 0 {
 		if seg.Entries[0].Seq != d.nextSeq {
-			s.mu.Unlock()
 			return fmt.Errorf("remote: segment starts at seq %d, chain is at %d", seg.Entries[0].Seq, d.nextSeq)
 		}
 		if err := oplog.VerifyChain(seg.Entries, d.headHash); err != nil {
-			s.mu.Unlock()
 			return fmt.Errorf("remote: reject segment: %w", err)
 		}
 	}
 	key := fmt.Sprintf("dev/%d/seg/%020d", seg.DeviceID, d.nextSeq)
 	blob := seg.Marshal()
 	if err := s.blobs.Put(key, blob); err != nil {
-		s.mu.Unlock()
 		return fmt.Errorf("remote: persist segment: %w", err)
 	}
 	if n := len(seg.Entries); n > 0 {
@@ -81,10 +134,17 @@ func (s *Store) AppendSegment(seg *oplog.Segment) error {
 		d.pageBytes += int64(len(p.Data))
 	}
 	d.segKeys = append(d.segKeys, key)
+	// Streaming consumers see segments per device in ingest order because
+	// the shard lock is still held; other devices are unaffected.
+	s.mu.RLock()
+	subs := s.subs
 	cb := s.OnSegment
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if cb != nil {
 		cb(seg.DeviceID, seg)
+	}
+	for _, fn := range subs {
+		fn(seg.DeviceID, seg)
 	}
 	return nil
 }
@@ -108,9 +168,9 @@ func (s *Store) AppendCheckpoint(deviceID uint64, cp nvmeoe.Checkpoint) error {
 	if err := s.blobs.Put(key, cp.Marshal()); err != nil {
 		return fmt.Errorf("remote: persist checkpoint: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	d := s.dev(deviceID)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.checkpoints = append(d.checkpoints, cp)
 	sort.Slice(d.checkpoints, func(i, j int) bool { return d.checkpoints[i].Seq < d.checkpoints[j].Seq })
 	return nil
@@ -118,9 +178,11 @@ func (s *Store) AppendCheckpoint(deviceID uint64, cp nvmeoe.Checkpoint) error {
 
 // Entries returns stored entries with from <= Seq < to.
 func (s *Store) Entries(deviceID, from, to uint64) []oplog.Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.devices[deviceID]
+	d, ok := s.lookup(deviceID)
+	if ok {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	if !ok {
 		return nil
 	}
@@ -141,9 +203,11 @@ func (s *Store) Entries(deviceID, from, to uint64) []oplog.Entry {
 // Version returns the newest retained version of lpn written strictly
 // before sequence before.
 func (s *Store) Version(deviceID, lpn, before uint64) (oplog.PageRecord, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.devices[deviceID]
+	d, ok := s.lookup(deviceID)
+	if ok {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	if !ok {
 		return oplog.PageRecord{}, false
 	}
@@ -159,9 +223,11 @@ func (s *Store) Version(deviceID, lpn, before uint64) (oplog.PageRecord, bool) {
 // given sequence, that newest version — a full point-in-time snapshot of
 // the offloaded history.
 func (s *Store) Image(deviceID, before uint64) []oplog.PageRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.devices[deviceID]
+	d, ok := s.lookup(deviceID)
+	if ok {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	if !ok {
 		return nil
 	}
@@ -178,9 +244,11 @@ func (s *Store) Image(deviceID, before uint64) []oplog.PageRecord {
 
 // Checkpoint returns the newest checkpoint with Seq <= before.
 func (s *Store) Checkpoint(deviceID, before uint64) (nvmeoe.Checkpoint, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.devices[deviceID]
+	d, ok := s.lookup(deviceID)
+	if ok {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	if !ok || len(d.checkpoints) == 0 {
 		return nvmeoe.Checkpoint{}, false
 	}
@@ -194,9 +262,11 @@ func (s *Store) Checkpoint(deviceID, before uint64) (nvmeoe.Checkpoint, bool) {
 // Head returns the device's chain state: next expected sequence and the
 // hash of the last accepted entry.
 func (s *Store) Head(deviceID uint64) nvmeoe.Head {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.devices[deviceID]
+	d, ok := s.lookup(deviceID)
+	if ok {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	if !ok {
 		return nvmeoe.Head{}
 	}
@@ -214,9 +284,11 @@ type Stats struct {
 
 // DeviceStats returns the remote footprint of one device.
 func (s *Store) DeviceStats(deviceID uint64) Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.devices[deviceID]
+	d, ok := s.lookup(deviceID)
+	if ok {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
 	if !ok {
 		return Stats{}
 	}
@@ -236,6 +308,12 @@ func (s *Store) DeviceStats(deviceID uint64) Stats {
 // Reload rebuilds the in-memory indexes from the object store. It verifies
 // the full chain as it goes, so a tampered blob store is detected. This is
 // the durability story: the index is a cache; the blobs are the truth.
+//
+// Reload is the restart-recovery path: it holds the directory lock for its
+// whole duration, so sessions arriving mid-rebuild block at the shard
+// lookup instead of ingesting into a directory about to be replaced.
+// Callers must still quiesce in-flight requests first (Server.Close) —
+// an append already past the lookup races the blob listing.
 func (s *Store) Reload() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -243,7 +321,17 @@ func (s *Store) Reload() error {
 	if err != nil {
 		return err
 	}
-	s.devices = map[uint64]*deviceLog{}
+	// Rebuild into a fresh directory and swap it in at the end, so a
+	// failed reload leaves the previous index intact.
+	devices := map[uint64]*deviceLog{}
+	dev := func(id uint64) *deviceLog {
+		d, ok := devices[id]
+		if !ok {
+			d = &deviceLog{versions: map[uint64][]oplog.PageRecord{}}
+			devices[id] = d
+		}
+		return d
+	}
 	sort.Strings(keys) // seg keys are zero-padded by seq: lexical == numeric
 	for _, key := range keys {
 		var devID uint64
@@ -260,7 +348,7 @@ func (s *Store) Reload() error {
 			if err := seg.VerifyPages(); err != nil {
 				return fmt.Errorf("remote: reload %s: %w", key, err)
 			}
-			d := s.dev(seg.DeviceID)
+			d := dev(seg.DeviceID)
 			if len(seg.Entries) > 0 {
 				if seg.Entries[0].Seq != d.nextSeq {
 					return fmt.Errorf("remote: reload %s: chain gap at %d", key, d.nextSeq)
@@ -288,12 +376,13 @@ func (s *Store) Reload() error {
 			if err != nil {
 				return fmt.Errorf("remote: reload %s: %w", key, err)
 			}
-			d := s.dev(devID)
+			d := dev(devID)
 			d.checkpoints = append(d.checkpoints, cp)
 		}
 	}
-	for _, d := range s.devices {
+	for _, d := range devices {
 		sort.Slice(d.checkpoints, func(i, j int) bool { return d.checkpoints[i].Seq < d.checkpoints[j].Seq })
 	}
+	s.devices = devices
 	return nil
 }
