@@ -13,8 +13,12 @@
 //	rssdbench -exp attacks    # Ransomware 2.0 validation vs. LocalSSD
 //	rssdbench -exp batch      # batched vs per-op datapath replay
 //	rssdbench -exp fleet      # N devices, one server: async offload + streaming detection
+//	rssdbench -exp retention  # storage tiers: local server vs modeled S3 (capacity/latency/cost)
 //
-// -scale small uses the test-sized configuration for a quick pass.
+// -scale small uses the test-sized configuration for a quick pass, and
+// -short shrinks further to the CI smoke size (small scale, 2 devices).
+// -backend selects the storage tier(s) for -exp retention: mem, dir,
+// s3sim, a comma-separated list, or all.
 // -json additionally writes each experiment's rows to BENCH_<name>.json
 // so successive runs can be diffed to track the performance trajectory.
 package main
@@ -24,16 +28,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/remote"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, detection, attacks, batch, fleet)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, detection, attacks, batch, fleet, retention)")
 	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_<name>.json per experiment")
-	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet")
+	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet and -exp retention")
+	backendFlag := flag.String("backend", "all", "storage tier(s) for -exp retention: mem, dir, s3sim, a comma list, or all")
+	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices")
 	flag.Parse()
 
 	var s experiment.Scale
@@ -45,6 +54,29 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+	if *short {
+		s = experiment.SmallScale()
+		if *fleetDevices > 2 {
+			*fleetDevices = 2
+		}
+		*scaleFlag = "short" // label persisted JSON honestly
+	}
+
+	backends := experiment.RetentionBackends
+	if *backendFlag != "all" {
+		backends = backends[:0:0]
+		for _, name := range strings.Split(*backendFlag, ",") {
+			backends = append(backends, strings.TrimSpace(name))
+		}
+	}
+	// Fail on a bad tier name in milliseconds, not after earlier tiers
+	// already ran for minutes.
+	for _, name := range backends {
+		if !slices.Contains(remote.Backends(), name) {
+			fmt.Fprintf(os.Stderr, "unknown backend %q (have %v)\n", name, remote.Backends())
+			os.Exit(2)
+		}
 	}
 
 	// persist writes one experiment's rows as BENCH_<name>.json when -json
@@ -181,6 +213,16 @@ func main() {
 		fmt.Printf("Fleet — %d devices, one server: async offload pipeline, sharded ingest, streaming detection\n", *fleetDevices)
 		fmt.Print(experiment.RenderFleet(res))
 		return persist("fleet", res)
+	})
+
+	run("retention", func() error {
+		rows, err := experiment.Retention(s, *fleetDevices, backends)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Retention tiers — fleet workload vs storage backends %v (compressed offload wire)\n", backends)
+		fmt.Print(experiment.RenderRetention(rows))
+		return persist("retention", rows)
 	})
 
 	run("attacks", func() error {

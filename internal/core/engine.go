@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
 	"repro/internal/remote"
 	"repro/internal/simclock"
@@ -32,11 +33,13 @@ import (
 // stagedSegment is one sealed segment travelling through the pipeline.
 type stagedSegment struct {
 	seg      *oplog.Segment
+	blob     []byte        // codec-framed wire encoding (what actually ships)
 	batch    []*retEntry   // retained pages carried by seg (pins still held)
 	toSeq    uint64        // log entries below this are covered by seg
 	sealedAt simclock.Time // flash background reads complete
 	ackAt    simclock.Time // simulated durability-ack arrival (link model)
-	bytes    int           // wire size estimate driving the link model
+	wire     int           // compressed wire bytes: what the link model charges
+	logical  int           // uncompressed marshal size
 	err      error         // set by the transfer goroutine
 }
 
@@ -70,7 +73,7 @@ func newOffloadEngine(client *remote.Client, depth int) *offloadEngine {
 	}
 	go func() {
 		for st := range e.pending {
-			st.err = client.PushSegment(st.seg)
+			st.err = client.PushSegmentBlob(st.blob, st.seg.LastSeq)
 			e.results <- st
 		}
 	}()
@@ -138,7 +141,6 @@ func (r *RSSD) buildSegment(batch []*retEntry, at simclock.Time) (*stagedSegment
 		seg.LastTime = entries[len(entries)-1].At
 	}
 	st := &stagedSegment{seg: seg, batch: batch, toSeq: to, sealedAt: at}
-	st.bytes = 52 + len(entries)*oplog.EntrySize
 	for _, re := range batch {
 		// Background lane: the offload engine's flash reads fill host idle
 		// gaps (read-suspend priority) rather than delaying host I/O.
@@ -158,8 +160,14 @@ func (r *RSSD) buildSegment(batch []*retEntry, at simclock.Time) (*stagedSegment
 			Hash:     oplog.HashData(data),
 			Data:     data,
 		})
-		st.bytes += 29 + oplog.HashSize + len(data)
 	}
+	// Seal = encode: the codec frame built here is the exact byte string
+	// the transfer goroutine ships and the server persists, so the link
+	// model charges compressed (actual wire) bytes, not the logical size.
+	raw := seg.Marshal()
+	st.blob = nvmeoe.EncodeSegmentBlob(raw)
+	st.logical = len(raw)
+	st.wire = len(st.blob)
 	r.stagedUpTo = to
 	return st, nil
 }
@@ -177,7 +185,7 @@ func (r *RSSD) stage(batch []*retEntry, at simclock.Time) (simclock.Time, error)
 		return at, err
 	}
 	start := simclock.Max(st.sealedAt, e.linkFreeAt)
-	st.ackAt = start.Add(r.xferTime(st.bytes))
+	st.ackAt = start.Add(r.xferTime(st.wire))
 	e.linkFreeAt = st.ackAt
 	// Backpressure: the bound is the firmware-side in-flight count, not
 	// the channel's instantaneous occupancy, so stalls depend only on
@@ -285,6 +293,8 @@ func (r *RSSD) releaseSegment(st *stagedSegment) {
 	}
 	r.stats.OffloadSegments++
 	r.stats.OffloadEntries += uint64(len(st.seg.Entries))
+	r.stats.OffloadBytesWire += uint64(st.wire)
+	r.stats.OffloadBytesLogical += uint64(st.logical)
 	ackSpan := st.ackAt.Sub(st.sealedAt)
 	r.stats.OffloadLatency += ackSpan
 	r.stats.OffloadAckTime += ackSpan

@@ -174,7 +174,7 @@ func (r *RSSD) shipSync(batch []*retEntry, at simclock.Time) (simclock.Time, err
 		r.stagedUpTo = r.offloadedUpTo
 		return at, fmt.Errorf("core: seal segment: %w", err)
 	}
-	if err := r.client.PushSegment(st.seg); err != nil {
+	if err := r.client.PushSegmentBlob(st.blob, st.seg.LastSeq); err != nil {
 		// The batch was not acked: re-pin nothing (we only release after
 		// ack), but put the entries back at the queue head so a retry
 		// ships the same data.
@@ -182,7 +182,7 @@ func (r *RSSD) shipSync(batch []*retEntry, at simclock.Time) (simclock.Time, err
 		r.stagedUpTo = r.offloadedUpTo
 		return at, err
 	}
-	st.ackAt = simclock.Max(st.sealedAt, at).Add(r.xferTime(st.bytes))
+	st.ackAt = simclock.Max(st.sealedAt, at).Add(r.xferTime(st.wire))
 	r.releaseSegment(st)
 	return st.ackAt, nil
 }

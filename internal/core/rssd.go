@@ -100,11 +100,17 @@ type Stats struct {
 	OffloadPages    uint64
 	OffloadBytes    uint64 // uncompressed page bytes shipped
 	OffloadEntries  uint64
-	ReleasedPins    uint64
-	DroppedPages    uint64 // retained pages destroyed without offload (offline mode only)
-	Checkpoints     uint64
-	PressureEvents  uint64
-	OffloadErrors   uint64 // background offload failures (retried)
+	// OffloadBytesWire is what actually crossed the NVMe-oE link: codec-
+	// framed (compressed) segment blobs. OffloadBytesLogical is the same
+	// segments' uncompressed marshal size; wire < logical is the
+	// compression the retention budget and link model are sized with.
+	OffloadBytesWire    uint64
+	OffloadBytesLogical uint64
+	ReleasedPins        uint64
+	DroppedPages        uint64 // retained pages destroyed without offload (offline mode only)
+	Checkpoints         uint64
+	PressureEvents      uint64
+	OffloadErrors       uint64 // background offload failures (retried)
 	// OffloadLatency is the total simulated time the offload engine spent
 	// moving data — background-lane flash reads plus link transfers. In
 	// the asynchronous mode none of it is charged to host I/O; in

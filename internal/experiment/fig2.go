@@ -94,13 +94,16 @@ func fig2One(s Scale, prof workload.Profile) (RetentionRow, error) {
 	days := end.Sub(start).Days()
 	staleGiBPerDay := float64(staleEvents) * float64(s.PageSize) / float64(1<<30) / days
 
-	// Content compressibility: what the NVMe-oE DEFLATE stage achieves.
-	var ratioSum float64
-	const samples = 64
-	for i := 0; i < samples; i++ {
-		ratioSum += nvmeoe.CompressionRatio(g.Content())
+	// Content compressibility, measured through the same exported codec
+	// the offload wire ships segments with: a segment's worth of workload
+	// pages in one buffer, so cross-page redundancy counts exactly as it
+	// does on the wire.
+	const samplePages = 64
+	sample := make([]byte, 0, samplePages*s.PageSize)
+	for i := 0; i < samplePages; i++ {
+		sample = append(sample, g.Content()...)
 	}
-	ratio := ratioSum / samples
+	ratio := nvmeoe.CompressionRatio(sample)
 
 	opBytes := nominalOPFraction * nominalDeviceBytes
 	staleBytesPerDay := staleGiBPerDay * float64(1<<30)

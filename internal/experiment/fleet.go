@@ -57,6 +57,7 @@ type FleetDeviceRow struct {
 	Attacked       bool
 	Records        int     // replay records (the measured phase)
 	PageOps        int     // host page operations across all phases
+	SimMs          float64 // simulated span of the device's run (all phases)
 	MeanLatUs      float64 // host batch latency during replay
 	P99LatUs       float64
 	ReplaySegments uint64  // segments shipped while host I/O was running
@@ -143,14 +144,19 @@ func Fleet(s Scale, devices int) (*FleetResult, error) {
 	return &FleetResult{Rows: async.rows, Summary: sum}, nil
 }
 
-// runFleet executes one pass: every device runs concurrently against one
-// shared server, replaying its benign trace and (when withAttacks) its
-// assigned ransomware variant.
+// runFleet executes one pass over the default in-memory tier.
 func runFleet(s Scale, devices int, syncOffload, withAttacks bool) (*fleetPass, error) {
+	return runFleetOn(s, devices, syncOffload, withAttacks, remote.NewStore(remote.NewMemStore()))
+}
+
+// runFleetOn executes one pass against the given store (any storage tier):
+// every device runs concurrently against one shared server, replaying its
+// benign trace and (when withAttacks) its assigned ransomware variant. The
+// retention experiment reuses the same pass per backend tier.
+func runFleetOn(s Scale, devices int, syncOffload, withAttacks bool, store *remote.Store) (*fleetPass, error) {
 	if devices <= 0 {
 		devices = 8
 	}
-	store := remote.NewStore(remote.NewMemStore())
 	srv := remote.NewServer(store, PSK)
 	engine := detect.NewEngine(detectConfig(s))
 	engine.Attach(store)
@@ -276,6 +282,7 @@ func runFleetDevice(s Scale, srv *remote.Server, engine *detect.Engine, deviceID
 	// PageOps covers every phase (replay, corpus seeding, attack): the
 	// wall-clock throughput below divides by a wall that spans them all.
 	row.PageOps = int(st.HostWrites + st.HostReads + st.HostTrims)
+	row.SimMs = float64(simclock.Max(fs.Clock().Now(), end)) / float64(simclock.Millisecond)
 	row.Segments = st.OffloadSegments
 	row.QueuePeak = st.OffloadQueuePeak
 	row.Stalls = st.OffloadStalls

@@ -1,0 +1,152 @@
+package nvmeoe
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the one compression implementation in the tree: the frame
+// layer, the segment-blob wire format, and the retention-capacity models
+// all compress through it.
+//
+// Segment blobs — the unit the offload engine ships and the remote store
+// persists — carry their own codec header, so the same encoded bytes travel
+// the NVMe-oE wire and land in the object store unchanged: compressed on
+// the wire IS compressed at rest, and the server never re-compresses. The
+// header also versions the encoding: blobs written before this format (a
+// bare oplog segment marshal) carry no header and decode as CodecNone.
+
+// Codec identifies how a segment blob's payload is encoded.
+type Codec uint8
+
+// Segment-blob codecs.
+const (
+	// CodecNone stores the segment marshal verbatim (incompressible data).
+	CodecNone Codec = 0
+	// CodecDeflate stores the segment marshal DEFLATE-compressed.
+	CodecDeflate Codec = 1
+)
+
+func (c Codec) String() string {
+	switch c {
+	case CodecNone:
+		return "none"
+	case CodecDeflate:
+		return "deflate"
+	default:
+		return fmt.Sprintf("Codec(%d)", uint8(c))
+	}
+}
+
+// blob header layout: magic(4) codec(1) rawLen(4) = 9 bytes.
+const (
+	blobMagic      = 0x43535352 // "RSSC": RSSD Segment Codec
+	blobHeaderSize = 9
+)
+
+// ErrBadBlob reports a segment blob whose codec framing does not decode.
+var ErrBadBlob = errors.New("nvmeoe: malformed segment blob")
+
+// EncodeSegmentBlob wraps a marshaled segment in the codec frame,
+// compressing when that shrinks it. The result is what goes on the wire
+// and into the object store.
+func EncodeSegmentBlob(raw []byte) []byte {
+	codec, body := CodecNone, raw
+	if c, ok := Deflate(raw); ok {
+		codec, body = CodecDeflate, c
+	}
+	b := make([]byte, 0, blobHeaderSize+len(body))
+	b = binary.LittleEndian.AppendUint32(b, blobMagic)
+	b = append(b, byte(codec))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(raw)))
+	return append(b, body...)
+}
+
+// DecodeSegmentBlob returns the marshaled segment inside blob, inflating
+// when the codec header says so. Blobs without a codec header — segments
+// persisted before the compressed wire format — are returned verbatim, so
+// old stores keep reloading.
+func DecodeSegmentBlob(blob []byte) ([]byte, error) {
+	if !IsSegmentBlob(blob) {
+		return blob, nil
+	}
+	codec := Codec(blob[4])
+	rawLen := binary.LittleEndian.Uint32(blob[5:])
+	body := blob[blobHeaderSize:]
+	switch codec {
+	case CodecNone:
+		if uint32(len(body)) != rawLen {
+			return nil, fmt.Errorf("%w: raw length %d, header says %d", ErrBadBlob, len(body), rawLen)
+		}
+		return body, nil
+	case CodecDeflate:
+		raw, err := Inflate(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
+		}
+		if uint32(len(raw)) != rawLen {
+			return nil, fmt.Errorf("%w: inflated to %d, header says %d", ErrBadBlob, len(raw), rawLen)
+		}
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown codec %d", ErrBadBlob, codec)
+	}
+}
+
+// SegmentBlobLogicalSize returns the decoded (logical) size of a segment
+// blob without inflating it: the codec header records it, and a legacy
+// blob is its own decoding.
+func SegmentBlobLogicalSize(blob []byte) int {
+	if !IsSegmentBlob(blob) {
+		return len(blob)
+	}
+	return int(binary.LittleEndian.Uint32(blob[5:]))
+}
+
+// IsSegmentBlob reports whether b carries the codec frame header. The
+// check is unambiguous against legacy blobs: a bare segment marshal starts
+// with the oplog segment magic, not blobMagic.
+func IsSegmentBlob(b []byte) bool {
+	return len(b) >= blobHeaderSize && binary.LittleEndian.Uint32(b) == blobMagic
+}
+
+// Deflate compresses p, reporting false when compression does not shrink it.
+func Deflate(p []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := w.Write(p); err != nil {
+		return nil, false
+	}
+	if err := w.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(p) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// Inflate decompresses a Deflate result.
+func Inflate(p []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(p))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// CompressionRatio reports how much the codec shrinks p (original/encoded);
+// the retention-capacity models use it to size the LocalSSD+Compression
+// baseline and the offload bandwidth estimates.
+func CompressionRatio(p []byte) float64 {
+	c, ok := Deflate(p)
+	if !ok || len(c) == 0 {
+		return 1
+	}
+	return float64(len(p)) / float64(len(c))
+}

@@ -1,0 +1,103 @@
+package nvmeoe
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"repro/internal/oplog"
+)
+
+func testSegment(t *testing.T, data []byte) *oplog.Segment {
+	t.Helper()
+	return &oplog.Segment{
+		DeviceID: 7,
+		Pages: []oplog.PageRecord{
+			{LPN: 1, WriteSeq: 2, StaleSeq: 3, Hash: oplog.HashData(data), Data: data},
+		},
+	}
+}
+
+func TestSegmentBlobRoundTripCompressible(t *testing.T) {
+	seg := testSegment(t, make([]byte, 8192)) // zero pages deflate hard
+	raw := seg.Marshal()
+	blob := EncodeSegmentBlob(raw)
+	if !IsSegmentBlob(blob) {
+		t.Fatal("encoded blob not recognized")
+	}
+	if len(blob) >= len(raw) {
+		t.Fatalf("compressible blob grew: wire %d >= logical %d", len(blob), len(raw))
+	}
+	got, err := DecodeSegmentBlob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := oplog.UnmarshalSegment(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentBlobRoundTripIncompressible(t *testing.T) {
+	data := make([]byte, 4096)
+	rand.Read(data)
+	raw := testSegment(t, data).Marshal()
+	blob := EncodeSegmentBlob(raw)
+	if Codec(blob[4]) != CodecNone {
+		t.Fatalf("random data picked codec %v, want none", Codec(blob[4]))
+	}
+	got, err := DecodeSegmentBlob(blob)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestDecodeSegmentBlobLegacyPassthrough(t *testing.T) {
+	// A pre-codec store holds bare segment marshals; they must decode as-is.
+	raw := testSegment(t, []byte("legacy page")).Marshal()
+	got, err := DecodeSegmentBlob(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatal("legacy blob modified by decode")
+	}
+}
+
+func TestDecodeSegmentBlobCorrupt(t *testing.T) {
+	blob := EncodeSegmentBlob(testSegment(t, make([]byte, 4096)).Marshal())
+	// Unknown codec.
+	bad := append([]byte(nil), blob...)
+	bad[4] = 0x7F
+	if _, err := DecodeSegmentBlob(bad); !errors.Is(err, ErrBadBlob) {
+		t.Fatalf("unknown codec err = %v", err)
+	}
+	// Truncated compressed body.
+	if _, err := DecodeSegmentBlob(blob[:len(blob)-4]); !errors.Is(err, ErrBadBlob) {
+		t.Fatalf("truncated body err = %v", err)
+	}
+	// Length header lies.
+	bad = append([]byte(nil), blob...)
+	bad[5] ^= 0xFF
+	if _, err := DecodeSegmentBlob(bad); !errors.Is(err, ErrBadBlob) {
+		t.Fatalf("bad length err = %v", err)
+	}
+}
+
+func TestWriteMsgSkipsRecompressingBlobs(t *testing.T) {
+	// An encoded blob round-trips the frame layer unchanged: the frame
+	// flags must not mark it compressed a second time.
+	blob := EncodeSegmentBlob(testSegment(t, make([]byte, 8192)).Marshal())
+	dev, srv := pipePair(t)
+	go dev.WriteMsg(MsgSegment, blob)
+	typ, body, err := srv.ReadMsg()
+	if err != nil || typ != MsgSegment {
+		t.Fatalf("read: %v %v", typ, err)
+	}
+	if !bytes.Equal(body, blob) {
+		t.Fatal("blob changed in transit")
+	}
+}

@@ -21,8 +21,6 @@ package nvmeoe
 
 import (
 	"bufio"
-	"bytes"
-	"compress/flate"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/hmac"
@@ -158,8 +156,10 @@ func (c *Conn) WriteMsg(t MsgType, payload []byte) error {
 	}
 	flags := uint16(0)
 	body := payload
-	if len(payload) > 128 {
-		if compressed, ok := deflate(payload); ok {
+	// Codec-framed segment blobs arrive already compressed (the offload
+	// engine encodes them at seal time); re-deflating them only burns CPU.
+	if len(payload) > 128 && !IsSegmentBlob(payload) {
+		if compressed, ok := Deflate(payload); ok {
 			body = compressed
 			flags |= flagCompressed
 		}
@@ -236,7 +236,7 @@ func (c *Conn) ReadMsg() (MsgType, []byte, error) {
 		return 0, nil, err
 	}
 	if flags&flagCompressed != 0 {
-		pt, err := inflate(ct)
+		pt, err := Inflate(ct)
 		if err != nil {
 			return 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}
@@ -247,39 +247,3 @@ func (c *Conn) ReadMsg() (MsgType, []byte, error) {
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
-
-// deflate compresses p, reporting false when compression does not shrink it.
-func deflate(p []byte) ([]byte, bool) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return nil, false
-	}
-	if _, err := w.Write(p); err != nil {
-		return nil, false
-	}
-	if err := w.Close(); err != nil {
-		return nil, false
-	}
-	if buf.Len() >= len(p) {
-		return nil, false
-	}
-	return buf.Bytes(), true
-}
-
-func inflate(p []byte) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(p))
-	defer r.Close()
-	return io.ReadAll(r)
-}
-
-// CompressionRatio reports how much deflate shrinks p (original/compressed);
-// the retention-capacity model uses it to size the LocalSSD+Compression
-// baseline and the offload bandwidth estimates.
-func CompressionRatio(p []byte) float64 {
-	c, ok := deflate(p)
-	if !ok || len(c) == 0 {
-		return 1
-	}
-	return float64(len(p)) / float64(len(c))
-}

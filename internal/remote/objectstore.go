@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // ObjectStore is the blob-storage abstraction segments are persisted to.
@@ -115,6 +116,14 @@ func (d *DirStore) path(key string) string {
 	return filepath.Join(d.root, filepath.FromSlash(key))
 }
 
+// isNotExist reports whether err means "no blob at this key". Plain
+// os.ErrNotExist misses one case MemStore has no analogue for: a key whose
+// path crosses an existing regular file (Get("a/b") after Put("a")) fails
+// with ENOTDIR, which is still just "not found" at the blob layer.
+func isNotExist(err error) bool {
+	return errors.Is(err, os.ErrNotExist) || errors.Is(err, syscall.ENOTDIR)
+}
+
 // Put writes the blob to disk, creating parent directories as needed.
 func (d *DirStore) Put(key string, data []byte) error {
 	p := d.path(key)
@@ -128,10 +137,11 @@ func (d *DirStore) Put(key string, data []byte) error {
 	return os.Rename(tmp, p)
 }
 
-// Get reads the blob from disk.
+// Get reads the blob from disk. Any flavour of missing-path failure maps
+// to ErrNotFound, matching MemStore exactly.
 func (d *DirStore) Get(key string) ([]byte, error) {
 	b, err := os.ReadFile(d.path(key))
-	if errors.Is(err, os.ErrNotExist) {
+	if isNotExist(err) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
 	return b, err
@@ -158,10 +168,11 @@ func (d *DirStore) List(prefix string) ([]string, error) {
 	return keys, err
 }
 
-// Delete removes the blob file; missing files are ignored.
+// Delete removes the blob file; deleting a missing key (including one
+// whose path crosses a file) is idempotent, as on MemStore.
 func (d *DirStore) Delete(key string) error {
 	err := os.Remove(d.path(key))
-	if errors.Is(err, os.ErrNotExist) {
+	if isNotExist(err) {
 		return nil
 	}
 	return err

@@ -128,14 +128,22 @@ func (s *Server) HandleConn(nc net.Conn) {
 func (s *Server) dispatch(conn *nvmeoe.Conn, deviceID uint64, typ nvmeoe.MsgType, body []byte) error {
 	switch typ {
 	case nvmeoe.MsgSegment:
-		seg, err := oplog.UnmarshalSegment(body)
+		// The payload is the codec-framed segment blob (or a bare marshal
+		// from a pre-codec device). Decode to verify, but persist the wire
+		// bytes as received: compressed on the wire is compressed at rest,
+		// and the server never re-compresses.
+		raw, err := nvmeoe.DecodeSegmentBlob(body)
+		if err != nil {
+			return sendErr(conn, CodeBadData, err)
+		}
+		seg, err := oplog.UnmarshalSegment(raw)
 		if err != nil {
 			return sendErr(conn, CodeBadData, err)
 		}
 		if seg.DeviceID != deviceID {
 			return sendErr(conn, CodeBadData, fmt.Errorf("segment for device %d on session of device %d", seg.DeviceID, deviceID))
 		}
-		if err := s.Store.AppendSegment(seg); err != nil {
+		if err := s.Store.AppendSegmentBlob(seg, body); err != nil {
 			return sendErr(conn, CodeBadData, err)
 		}
 		return conn.WriteMsg(nvmeoe.MsgSegmentAck, (&nvmeoe.Ack{UpTo: seg.LastSeq}).Marshal())
@@ -246,9 +254,18 @@ func (c *Client) roundTrip(t nvmeoe.MsgType, payload []byte, wantResp nvmeoe.Msg
 	return body, nil
 }
 
-// PushSegment ships one segment and waits for the durability ack.
+// PushSegment ships one segment and waits for the durability ack. The
+// segment is codec-encoded here; callers that already hold the encoded
+// wire form (the offload engine encodes at seal time to size the link
+// model) should use PushSegmentBlob.
 func (c *Client) PushSegment(seg *oplog.Segment) error {
-	body, err := c.roundTrip(nvmeoe.MsgSegment, seg.Marshal(), nvmeoe.MsgSegmentAck)
+	return c.PushSegmentBlob(nvmeoe.EncodeSegmentBlob(seg.Marshal()), seg.LastSeq)
+}
+
+// PushSegmentBlob ships one codec-framed segment blob and waits for the
+// durability ack covering lastSeq.
+func (c *Client) PushSegmentBlob(blob []byte, lastSeq uint64) error {
+	body, err := c.roundTrip(nvmeoe.MsgSegment, blob, nvmeoe.MsgSegmentAck)
 	if err != nil {
 		return err
 	}
@@ -256,8 +273,8 @@ func (c *Client) PushSegment(seg *oplog.Segment) error {
 	if err != nil {
 		return err
 	}
-	if ack.UpTo != seg.LastSeq {
-		return fmt.Errorf("remote: ack up to %d, want %d", ack.UpTo, seg.LastSeq)
+	if ack.UpTo != lastSeq {
+		return fmt.Errorf("remote: ack up to %d, want %d", ack.UpTo, lastSeq)
 	}
 	return nil
 }

@@ -44,6 +44,11 @@ type deviceLog struct {
 	checkpoints []nvmeoe.Checkpoint           // sorted by Seq
 	segKeys     []string
 	pageBytes   int64
+	// bytesLogical is what segments decode to (the uncompressed marshal);
+	// bytesStored what the object store actually holds. Their ratio is the
+	// wire/at-rest compression the retention budget is sized with.
+	bytesLogical int64
+	bytesStored  int64
 }
 
 // NewStore returns a Store persisting blobs to the given object store.
@@ -100,11 +105,21 @@ func (s *Store) Devices() []uint64 {
 	return ids
 }
 
-// AppendSegment verifies and ingests one offloaded segment: page hashes
-// must match, and the entries must extend the device's chain exactly.
-// Only the segment's own device shard is locked, so ingest from different
-// devices runs concurrently.
+// AppendSegment verifies and ingests one offloaded segment, encoding it
+// through the wire codec before persisting. Sessions that already hold the
+// encoded wire form (Server) use AppendSegmentBlob to store those exact
+// bytes instead of re-encoding.
 func (s *Store) AppendSegment(seg *oplog.Segment) error {
+	return s.AppendSegmentBlob(seg, nvmeoe.EncodeSegmentBlob(seg.Marshal()))
+}
+
+// AppendSegmentBlob verifies and ingests one offloaded segment: page
+// hashes must match, and the entries must extend the device's chain
+// exactly. blob is the codec-framed wire encoding of seg and is persisted
+// verbatim — compressed on the wire is compressed at rest. Only the
+// segment's own device shard is locked, so ingest from different devices
+// runs concurrently.
+func (s *Store) AppendSegmentBlob(seg *oplog.Segment, blob []byte) error {
 	if err := seg.VerifyPages(); err != nil {
 		return fmt.Errorf("remote: reject segment: %w", err)
 	}
@@ -120,7 +135,6 @@ func (s *Store) AppendSegment(seg *oplog.Segment) error {
 		}
 	}
 	key := fmt.Sprintf("dev/%d/seg/%020d", seg.DeviceID, d.nextSeq)
-	blob := seg.Marshal()
 	if err := s.blobs.Put(key, blob); err != nil {
 		return fmt.Errorf("remote: persist segment: %w", err)
 	}
@@ -134,6 +148,8 @@ func (s *Store) AppendSegment(seg *oplog.Segment) error {
 		d.pageBytes += int64(len(p.Data))
 	}
 	d.segKeys = append(d.segKeys, key)
+	d.bytesLogical += int64(nvmeoe.SegmentBlobLogicalSize(blob))
+	d.bytesStored += int64(len(blob))
 	// Streaming consumers see segments per device in ingest order because
 	// the shard lock is still held; other devices are unaffected.
 	s.mu.RLock()
@@ -280,6 +296,12 @@ type Stats struct {
 	Versions    int
 	PageBytes   int64
 	Checkpoints int
+	// BytesLogical is the uncompressed size of the device's segments;
+	// BytesStored what the storage tier actually holds for them. Stored <
+	// logical is the wire/at-rest compression stretching the retention
+	// budget.
+	BytesLogical int64
+	BytesStored  int64
 }
 
 // DeviceStats returns the remote footprint of one device.
@@ -297,12 +319,57 @@ func (s *Store) DeviceStats(deviceID uint64) Stats {
 		nv += len(vs)
 	}
 	return Stats{
-		Segments:    len(d.segKeys),
-		Entries:     len(d.entries),
-		Versions:    nv,
-		PageBytes:   d.pageBytes,
-		Checkpoints: len(d.checkpoints),
+		Segments:     len(d.segKeys),
+		Entries:      len(d.entries),
+		Versions:     nv,
+		PageBytes:    d.pageBytes,
+		Checkpoints:  len(d.checkpoints),
+		BytesLogical: d.bytesLogical,
+		BytesStored:  d.bytesStored,
 	}
+}
+
+// Blobs exposes the storage tier the Store persists to (tier selection,
+// cost/latency ledgers, settling eventually-consistent listings).
+func (s *Store) Blobs() ObjectStore { return s.blobs }
+
+// TierStats returns the storage tier's cost/latency ledger when the
+// backend keeps one (s3sim), or a zero ledger for free local tiers.
+func (s *Store) TierStats() TierStats {
+	if ts, ok := s.blobs.(TierStatter); ok {
+		return ts.TierStats()
+	}
+	return TierStats{}
+}
+
+// FetchSegment retrieves and decodes the device's i-th stored segment,
+// transparently inflating compressed blobs (legacy uncompressed blobs
+// decode too). Forensic tooling re-reads the raw evidence chain this way.
+func (s *Store) FetchSegment(deviceID uint64, i int) (*oplog.Segment, error) {
+	d, ok := s.lookup(deviceID)
+	if !ok {
+		return nil, fmt.Errorf("%w: device %d", ErrNotFound, deviceID)
+	}
+	d.mu.RLock()
+	if i < 0 || i >= len(d.segKeys) {
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("%w: segment %d of device %d", ErrNotFound, i, deviceID)
+	}
+	key := d.segKeys[i]
+	d.mu.RUnlock()
+	blob, err := s.blobs.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := nvmeoe.DecodeSegmentBlob(blob)
+	if err != nil {
+		return nil, fmt.Errorf("remote: fetch %s: %w", key, err)
+	}
+	seg, err := oplog.UnmarshalSegment(raw)
+	if err != nil {
+		return nil, fmt.Errorf("remote: fetch %s: %w", key, err)
+	}
+	return seg, nil
 }
 
 // Reload rebuilds the in-memory indexes from the object store. It verifies
@@ -341,7 +408,14 @@ func (s *Store) Reload() error {
 			if err != nil {
 				return err
 			}
-			seg, err := oplog.UnmarshalSegment(blob)
+			// Blobs land in whatever frame the wire carried: codec-framed
+			// (possibly compressed) since the compressed offload wire, bare
+			// marshals before it. Decode handles both.
+			raw, err := nvmeoe.DecodeSegmentBlob(blob)
+			if err != nil {
+				return fmt.Errorf("remote: reload %s: %w", key, err)
+			}
+			seg, err := oplog.UnmarshalSegment(raw)
 			if err != nil {
 				return fmt.Errorf("remote: reload %s: %w", key, err)
 			}
@@ -365,6 +439,8 @@ func (s *Store) Reload() error {
 				d.pageBytes += int64(len(p.Data))
 			}
 			d.segKeys = append(d.segKeys, key)
+			d.bytesLogical += int64(len(raw))
+			d.bytesStored += int64(len(blob))
 			continue
 		}
 		if n, _ := fmt.Sscanf(key, "dev/%d/cp/%d", &devID, &seq); n == 2 {
@@ -385,4 +461,15 @@ func (s *Store) Reload() error {
 	}
 	s.devices = devices
 	return nil
+}
+
+// ReloadSettled is Reload for eventually-consistent storage tiers: it
+// first settles the backend's listing (s3sim's LIST lags recent PUTs, so a
+// plain Reload could silently rebuild short of the chain head) and then
+// rebuilds. On strongly-consistent tiers it is exactly Reload.
+func (s *Store) ReloadSettled() error {
+	if st, ok := s.blobs.(Settler); ok {
+		st.Settle()
+	}
+	return s.Reload()
 }
