@@ -2,18 +2,19 @@
 // from the simulated implementation. Run with -exp all (the default) to
 // produce the full evaluation, or select one experiment:
 //
-//	rssdbench -exp fig2       # Figure 2: data retention time
-//	rssdbench -exp table1     # Table 1: defense matrix
-//	rssdbench -exp perf       # claim P1: <1% performance overhead
-//	rssdbench -exp lifetime   # claim P2: write amplification / lifetime
-//	rssdbench -exp recovery   # claim P3: fast post-attack recovery
-//	rssdbench -exp forensics  # claim P4: evidence-chain construction
-//	rssdbench -exp offload    # NVMe-oE offload cost
-//	rssdbench -exp detection  # detection coverage/latency, six variants
-//	rssdbench -exp attacks    # Ransomware 2.0 validation vs. LocalSSD
-//	rssdbench -exp batch      # batched vs per-op datapath replay
-//	rssdbench -exp fleet      # N devices, one server: async offload + streaming detection
-//	rssdbench -exp retention  # storage tiers: local server vs modeled S3 (capacity/latency/cost)
+//	rssdbench -exp fig2           # Figure 2: data retention time
+//	rssdbench -exp table1         # Table 1: defense matrix
+//	rssdbench -exp perf           # claim P1: <1% performance overhead
+//	rssdbench -exp lifetime       # claim P2: write amplification / lifetime
+//	rssdbench -exp recovery-speed # claim P3: fast post-attack recovery (single device)
+//	rssdbench -exp forensics      # claim P4: evidence-chain construction
+//	rssdbench -exp offload        # NVMe-oE offload cost
+//	rssdbench -exp detection      # detection coverage/latency, six variants
+//	rssdbench -exp attacks        # Ransomware 2.0 validation vs. LocalSSD
+//	rssdbench -exp batch          # batched vs per-op datapath replay
+//	rssdbench -exp fleet          # N devices, one server: async offload + streaming detection
+//	rssdbench -exp retention      # storage tiers: local server vs modeled S3 (capacity/latency/cost)
+//	rssdbench -exp recovery       # fleet power-cycle: attack -> detect -> N concurrent streamed restores
 //
 // -scale small uses the test-sized configuration for a quick pass, and
 // -short shrinks further to the CI smoke size (small scale, 2 devices).
@@ -21,6 +22,8 @@
 // s3sim, a comma-separated list, or all.
 // -json additionally writes each experiment's rows to BENCH_<name>.json
 // so successive runs can be diffed to track the performance trajectory.
+// An unknown -exp value is rejected with the list of registered
+// experiments.
 package main
 
 import (
@@ -37,10 +40,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig2, table1, perf, lifetime, recovery, forensics, offload, detection, attacks, batch, fleet, retention)")
+	exp := flag.String("exp", "all", "experiment to run: all, or one registered name (an unknown name prints the registry)")
 	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_<name>.json per experiment")
-	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet and -exp retention")
+	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet, retention, and recovery")
 	backendFlag := flag.String("backend", "all", "storage tier(s) for -exp retention: mem, dir, s3sim, a comma list, or all")
 	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices")
 	flag.Parse()
@@ -102,20 +105,18 @@ func main() {
 		return nil
 	}
 
-	run := func(name string, f func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		start := time.Now()
-		fmt.Printf("==> %s\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+	// The experiment registry: -exp values resolve here, and an unknown
+	// name is rejected with this list instead of silently doing nothing.
+	type expDef struct {
+		name string
+		fn   func() error
+	}
+	var defs []expDef
+	register := func(name string, fn func() error) {
+		defs = append(defs, expDef{name, fn})
 	}
 
-	run("fig2", func() error {
+	register("fig2", func() error {
 		rows, err := experiment.Fig2Retention(s)
 		if err != nil {
 			return err
@@ -125,7 +126,7 @@ func main() {
 		return persist("fig2", rows)
 	})
 
-	run("table1", func() error {
+	register("table1", func() error {
 		cells, err := experiment.DefenseMatrix(s)
 		if err != nil {
 			return err
@@ -135,7 +136,7 @@ func main() {
 		return persist("table1", cells)
 	})
 
-	run("perf", func() error {
+	register("perf", func() error {
 		rows, err := experiment.PerfOverhead(s, []string{"hm", "src", "usr", "web"})
 		if err != nil {
 			return err
@@ -145,7 +146,7 @@ func main() {
 		return persist("perf", rows)
 	})
 
-	run("lifetime", func() error {
+	register("lifetime", func() error {
 		rows, err := experiment.LifetimeWAF(s, []string{"hm", "src", "usr", "web"})
 		if err != nil {
 			return err
@@ -155,17 +156,17 @@ func main() {
 		return persist("lifetime", rows)
 	})
 
-	run("recovery", func() error {
+	register("recovery-speed", func() error {
 		rows, err := experiment.RecoverySpeed(s, []int{20, 40, 80})
 		if err != nil {
 			return err
 		}
-		fmt.Println("Claim P3 — post-attack data recovery speed")
+		fmt.Println("Claim P3 — post-attack data recovery speed (single device)")
 		fmt.Print(experiment.RenderRecovery(rows))
-		return persist("recovery", rows)
+		return persist("recovery-speed", rows)
 	})
 
-	run("forensics", func() error {
+	register("forensics", func() error {
 		rows, err := experiment.ForensicsSpeed(s, []int{5000, 20000, 50000})
 		if err != nil {
 			return err
@@ -175,7 +176,7 @@ func main() {
 		return persist("forensics", rows)
 	})
 
-	run("offload", func() error {
+	register("offload", func() error {
 		rows, err := experiment.OffloadCost(s, []string{"hm", "src", "email"})
 		if err != nil {
 			return err
@@ -185,7 +186,7 @@ func main() {
 		return persist("offload", rows)
 	})
 
-	run("detection", func() error {
+	register("detection", func() error {
 		rows, err := experiment.DetectionLatency(s)
 		if err != nil {
 			return err
@@ -195,7 +196,7 @@ func main() {
 		return persist("detection", rows)
 	})
 
-	run("batch", func() error {
+	register("batch", func() error {
 		rows, err := experiment.BatchReplay(s, []string{"hm", "src", "web"})
 		if err != nil {
 			return err
@@ -205,7 +206,7 @@ func main() {
 		return persist("batch", rows)
 	})
 
-	run("fleet", func() error {
+	register("fleet", func() error {
 		res, err := experiment.Fleet(s, *fleetDevices)
 		if err != nil {
 			return err
@@ -215,7 +216,7 @@ func main() {
 		return persist("fleet", res)
 	})
 
-	run("retention", func() error {
+	register("retention", func() error {
 		rows, err := experiment.Retention(s, *fleetDevices, backends)
 		if err != nil {
 			return err
@@ -225,7 +226,7 @@ func main() {
 		return persist("retention", rows)
 	})
 
-	run("attacks", func() error {
+	register("attacks", func() error {
 		rows, err := experiment.AttackValidation(s)
 		if err != nil {
 			return err
@@ -234,4 +235,40 @@ func main() {
 		fmt.Print(experiment.RenderValidation(rows))
 		return persist("attacks", rows)
 	})
+
+	register("recovery", func() error {
+		res, err := experiment.FleetRecovery(s, *fleetDevices)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fleet recovery — power-cycle %d devices, concurrent codec-framed streamed restore from one server\n", *fleetDevices)
+		fmt.Print(experiment.RenderFleetRecovery(res))
+		return persist("recovery", res)
+	})
+
+	if *exp != "all" {
+		names := make([]string, 0, len(defs))
+		known := false
+		for _, d := range defs {
+			names = append(names, d.name)
+			known = known || d.name == *exp
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (registered: all, %s)\n",
+				*exp, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+	}
+	for _, d := range defs {
+		if *exp != "all" && *exp != d.name {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("==> %s\n", d.name)
+		if err := d.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
 }

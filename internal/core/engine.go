@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
 	"repro/internal/remote"
@@ -238,11 +240,13 @@ func (r *RSSD) drainOffload(at simclock.Time) simclock.Time {
 }
 
 // DrainOffload synchronously settles the offload pipeline: every staged
-// segment is acked or failed-and-requeued before it returns. Host tooling
-// calls it before reading Stats() for a consistent view; tests use it as
-// a barrier.
+// segment is acked or failed-and-requeued before it returns, and a dead
+// session gets its scheduled redial attempt. Host tooling calls it before
+// reading Stats() for a consistent view; tests use it as a barrier.
 func (r *RSSD) DrainOffload(at simclock.Time) simclock.Time {
-	return r.drainOffload(at)
+	at = r.drainOffload(at)
+	r.maybeRedial(at)
+	return at
 }
 
 // applyResult consumes the oldest in-flight completion on the firmware
@@ -254,7 +258,7 @@ func (r *RSSD) applyResult(st *stagedSegment) {
 	e.pagesInFlight -= len(st.batch)
 	if st.err != nil {
 		r.stats.OffloadErrors++
-		r.lastOffloadErr = st.err
+		r.noteRemoteErr(st.err)
 		e.failing = true
 		if len(st.batch) > 0 {
 			e.failedBatches = append(e.failedBatches, st.batch)
@@ -316,4 +320,117 @@ func (r *RSSD) releaseSegment(st *stagedSegment) {
 	if r.engine == nil || !r.engine.failing {
 		r.lastOffloadErr = nil
 	}
+}
+
+// noteRemoteErr records a background remote failure and classifies it: a
+// transport-level failure (anything but a server-reported RemoteError)
+// means the session itself is dead and the redial path may take over. A
+// server rejection travels over a healthy session — redialing it would
+// just replay the rejection — but it can mean the device's view of the
+// chain head is stale (a prior segment landed durably while its ack died
+// with an earlier session), so it schedules a head reconcile instead.
+func (r *RSSD) noteRemoteErr(err error) {
+	r.lastOffloadErr = err
+	var re *remote.RemoteError
+	if errors.As(err, &re) {
+		r.needReconcile = true
+	} else {
+		r.sessionDead = true
+	}
+}
+
+// adoptHead reconciles the durable frontier with the server's chain head.
+// Entries below the head are durably remote even if their acks were never
+// harvested; adopting them (counted in Stats.ResumeGap) instead of
+// re-shipping them is what keeps a send-without-ack disconnect from
+// wedging on duplicate-chain rejections. Pins whose pages rode the lost
+// acks stay requeued and re-ship as page-bearing segments past the head —
+// nothing is lost, nothing is double-extended.
+//
+// Adoption is verified, never blind: the server's chain hash at its head
+// must equal OUR entry's hash at that sequence. A head the device never
+// wrote, or one whose hash diverges, means the remote chain is foreign or
+// poisoned — adopting it would prune the only copy of the local evidence
+// chain, so the frontier stands and the divergence stays surfaced through
+// LastOffloadError.
+func (r *RSSD) adoptHead(head nvmeoe.Head) {
+	r.needReconcile = false
+	if head.NextSeq > r.offloadedUpTo {
+		if head.NextSeq > r.log.NextSeq() {
+			return // server holds entries this device never wrote
+		}
+		if es := r.log.Entries(head.NextSeq-1, head.NextSeq); len(es) != 1 || es[0].Hash != head.Hash {
+			return // chain divergence: do not destroy local evidence
+		}
+		r.stats.ResumeGap += head.NextSeq - r.offloadedUpTo
+		r.offloadedUpTo = head.NextSeq
+		r.log.Prune(head.NextSeq)
+	}
+	r.stagedUpTo = r.offloadedUpTo
+}
+
+// maybeRedial re-establishes a dead session from the configured dial
+// factory. Attempts back off exponentially in simulated time (base
+// RedialBackoff, capped at RedialBackoffMax). On success the durable
+// frontier is reconciled against the server's FetchHead before staging
+// resumes: entries the server stored durably but whose acks died with the
+// old session are counted into Stats.ResumeGap and NOT re-shipped — the
+// server would reject a duplicate chain extension — while everything past
+// the head (including requeued page pins) re-ships normally. The sticky
+// LastOffloadError intentionally survives the redial itself; only the
+// first post-redial durable ack clears it.
+func (r *RSSD) maybeRedial(at simclock.Time) {
+	if e := r.engine; e != nil && len(e.inFlight) > 0 {
+		return // let the failure epoch drain and requeue first
+	}
+	if !r.sessionDead {
+		// The session is healthy; a scheduled reconcile (chain rejection)
+		// refreshes the frontier over it.
+		if r.needReconcile && r.client != nil {
+			head, err := r.client.Head()
+			if err != nil {
+				r.noteRemoteErr(err)
+				return
+			}
+			r.adoptHead(head)
+		}
+		return
+	}
+	if r.cfg.Dial == nil {
+		return
+	}
+	if at < r.nextRedialAt {
+		return
+	}
+	r.stats.RedialAttempts++
+	client, err := r.cfg.Dial()
+	var head nvmeoe.Head
+	if err == nil {
+		if head, err = client.Head(); err != nil {
+			client.Close()
+		}
+	}
+	if err != nil {
+		r.lastOffloadErr = err
+		if r.redialBackoff == 0 {
+			r.redialBackoff = r.cfg.RedialBackoff
+		} else {
+			r.redialBackoff *= 2
+			if r.redialBackoff > r.cfg.RedialBackoffMax {
+				r.redialBackoff = r.cfg.RedialBackoffMax
+			}
+		}
+		r.nextRedialAt = at.Add(r.redialBackoff)
+		return
+	}
+	r.stopEngine()
+	if r.client != nil {
+		r.client.Close() // unblock any server goroutine wedged on the dead pipe
+	}
+	r.client = client
+	r.adoptHead(head)
+	r.sessionDead = false
+	r.redialBackoff = 0
+	r.nextRedialAt = 0
+	r.stats.Redials++
 }

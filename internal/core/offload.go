@@ -24,6 +24,7 @@ func (r *RSSD) maybeOffload(at simclock.Time) (simclock.Time, error) {
 	if !r.cfg.SyncOffload {
 		r.pollOffload(at)
 	}
+	r.maybeRedial(at)
 	budget := r.retentionBudget()
 	high := int(r.cfg.OffloadHighWater * float64(budget))
 	if r.unstagedRetained() <= high {
@@ -98,6 +99,7 @@ func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 	if r.client == nil {
 		return at, ErrNoRemote
 	}
+	r.maybeRedial(at)
 	if r.cfg.SyncOffload {
 		done, err := r.offloadToSync(0, at)
 		if err != nil {
@@ -112,8 +114,9 @@ func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 		return at, nil
 	}
 	for {
-		beforeRetained, beforeSeq := len(r.retained), r.offloadedUpTo
+		beforeRetained, beforeSeq, beforeRedials := len(r.retained), r.offloadedUpTo, r.stats.Redials
 		at = r.drainOffload(at)
+		r.maybeRedial(at)
 		at = r.stageTo(0, at)
 		for r.engineIdleHealthy() && r.stagedUpTo < r.log.NextSeq() {
 			var err error
@@ -124,12 +127,18 @@ func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 			}
 		}
 		at = r.drainOffload(at)
+		// A failure harvested by this drain may have scheduled a redial or
+		// head reconcile; running it here lets the progress check see the
+		// reconciled frontier instead of aborting on a stale one.
+		r.maybeRedial(at)
 		if len(r.retained) == 0 && r.offloadedUpTo == r.log.NextSeq() {
 			return at, nil
 		}
-		if len(r.retained) == beforeRetained && r.offloadedUpTo == beforeSeq {
-			// A full stage+drain round made no progress: surface the error
-			// instead of spinning.
+		if len(r.retained) == beforeRetained && r.offloadedUpTo == beforeSeq &&
+			r.stats.Redials == beforeRedials {
+			// A full stage+drain round made no progress (a successful
+			// redial counts as progress — the next round ships on the new
+			// session): surface the error instead of spinning.
 			if r.lastOffloadErr != nil {
 				return at, r.lastOffloadErr
 			}
@@ -177,9 +186,11 @@ func (r *RSSD) shipSync(batch []*retEntry, at simclock.Time) (simclock.Time, err
 	if err := r.client.PushSegmentBlob(st.blob, st.seg.LastSeq); err != nil {
 		// The batch was not acked: re-pin nothing (we only release after
 		// ack), but put the entries back at the queue head so a retry
-		// ships the same data.
+		// ships the same data. A transport-level failure additionally
+		// marks the session dead for the redial path.
 		r.requeue(batch)
 		r.stagedUpTo = r.offloadedUpTo
+		r.noteRemoteErr(err)
 		return at, err
 	}
 	st.ackAt = simclock.Max(st.sealedAt, at).Add(r.xferTime(st.wire))

@@ -71,6 +71,22 @@ type Config struct {
 	// Defaults: 30µs, 1200 MB/s.
 	OffloadLinkRTT  simclock.Duration
 	OffloadLinkMBps float64
+	// Dial, when set, lets the device re-establish remote sessions itself:
+	// the offload engine redials a dead session with exponential backoff
+	// and resumes from the server's FetchHead, and the restorer uses it to
+	// resume interrupted image streams. Without it, a dead session fails
+	// segments until a caller attaches a new client by hand — the
+	// pre-redial behaviour.
+	Dial DialFunc
+	// RedialBackoff and RedialBackoffMax bound the redial schedule: the
+	// first attempt fires at the next background poll after the session
+	// dies, then retries back off exponentially from RedialBackoff up to
+	// RedialBackoffMax of simulated time. Defaults: 1ms, 32ms.
+	RedialBackoff    simclock.Duration
+	RedialBackoffMax simclock.Duration
+	// RecoveryChunkPages bounds retained pages per streamed restore chunk
+	// (0 lets the server pick).
+	RecoveryChunkPages int
 }
 
 // DefaultConfig returns the configuration used across the evaluation.
@@ -129,6 +145,22 @@ type Stats struct {
 	OffloadInFlight int
 	// OffloadRetries counts failed segment batches requeued for retry.
 	OffloadRetries uint64
+	// Redials counts sessions the engine re-established itself from the
+	// configured dial factory; RedialAttempts additionally counts the
+	// attempts that failed and backed off.
+	Redials        uint64
+	RedialAttempts uint64
+	// ResumeGap accumulates log entries found durable at the server
+	// (FetchHead) on redial whose acks died with the old session — work
+	// the reconcile step did NOT re-ship. A mid-batch disconnect between
+	// send and ack shows up here instead of as duplicate chain entries.
+	ResumeGap uint64
+	// RestoreBytesWire / RestoreBytesLogical mirror the offload-side wire
+	// and logical counters for recovery traffic: image streams and range
+	// fetches ride the same segment codec as offload, and wire < logical
+	// is the compression the restore path now gets end to end.
+	RestoreBytesWire    uint64
+	RestoreBytesLogical uint64
 	// LastOffloadError is the most recent background offload/checkpoint
 	// failure ("" when the last attempt succeeded) — the SMART-log style
 	// surfacing of errors that never reach host I/O.
@@ -170,6 +202,16 @@ type RSSD struct {
 	readCounter    uint64
 	lastOffloadErr error
 
+	// Redial state: a transport-level failure marks the session dead; the
+	// background duty cycle then re-establishes it from cfg.Dial on an
+	// exponential simulated-time backoff (see maybeRedial). A server-side
+	// chain rejection instead schedules a FetchHead reconcile over the
+	// healthy session.
+	sessionDead   bool
+	needReconcile bool
+	redialBackoff simclock.Duration
+	nextRedialAt  simclock.Time
+
 	engine *offloadEngine // asynchronous offload pipeline (lazy; nil in sync mode)
 
 	stats Stats
@@ -183,9 +225,8 @@ var (
 	ErrNoRemote = errors.New("core: no remote client attached")
 )
 
-// New builds an RSSD over a fresh NAND device. client may be nil (offline
-// retention mode); attach one later with AttachRemote.
-func New(cfg Config, client *remote.Client) *RSSD {
+// normalize fills the Config defaults shared by New and Reopen.
+func (cfg Config) normalize() Config {
 	if cfg.OffloadHighWater <= 0 {
 		cfg.OffloadHighWater = 0.70
 	}
@@ -198,6 +239,22 @@ func New(cfg Config, client *remote.Client) *RSSD {
 	if cfg.OffloadQueueDepth <= 0 {
 		cfg.OffloadQueueDepth = 8
 	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = simclock.Millisecond
+	}
+	if cfg.RedialBackoffMax <= 0 {
+		cfg.RedialBackoffMax = 32 * simclock.Millisecond
+	}
+	if cfg.RedialBackoffMax < cfg.RedialBackoff {
+		cfg.RedialBackoffMax = cfg.RedialBackoff
+	}
+	return cfg
+}
+
+// New builds an RSSD over a fresh NAND device. client may be nil (offline
+// retention mode); attach one later with AttachRemote.
+func New(cfg Config, client *remote.Client) *RSSD {
+	cfg = cfg.normalize()
 	r := &RSSD{
 		cfg:      cfg,
 		log:      oplog.New(),
@@ -215,10 +272,15 @@ func New(cfg Config, client *remote.Client) *RSSD {
 
 // AttachRemote connects the offload engine to a remote server session,
 // retiring any engine bound to the previous session first (outstanding
-// completions are settled so no pin is orphaned).
+// completions are settled so no pin is orphaned). A hand-attached session
+// also resets the redial machinery: the caller vouches for this one.
 func (r *RSSD) AttachRemote(client *remote.Client) {
 	r.stopEngine()
 	r.client = client
+	r.sessionDead = false
+	r.needReconcile = false
+	r.redialBackoff = 0
+	r.nextRedialAt = 0
 }
 
 // FTL exposes the underlying translation layer (read-mostly: stats,
@@ -323,7 +385,7 @@ func (r *RSSD) afterOps(n int, at simclock.Time) (simclock.Time, error) {
 				// Like offload, checkpointing is background work: its
 				// failure is surfaced out of band, never to host I/O.
 				r.stats.OffloadErrors++
-				r.lastOffloadErr = err
+				r.noteRemoteErr(err)
 			}
 		}
 	}
@@ -380,6 +442,7 @@ func (r *RSSD) Pressure(needPages int, at simclock.Time) {
 		target = 0
 	}
 	if r.client != nil {
+		r.maybeRedial(at)
 		if r.cfg.SyncOffload {
 			if _, err := r.offloadToSync(target, at); err == nil {
 				return
@@ -403,6 +466,7 @@ func (r *RSSD) Pressure(needPages int, at simclock.Time) {
 				if len(r.retained) <= target {
 					return
 				}
+				r.maybeRedial(at)
 			}
 		}
 	}

@@ -1,0 +1,424 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/host"
+	"repro/internal/metrics"
+	"repro/internal/nand"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// The fleet recovery experiment is the paper's trusted post-attack
+// recovery claim at fleet scale: N devices run their workloads, half are
+// hit by ransomware variants, streaming detection catches the attacks —
+// and then every device power-cycles and restores its pre-attack image
+// CONCURRENTLY from the one storage server. Restores ride the chunked,
+// codec-framed image stream through a shared-bandwidth recovery link
+// model (the server NIC split per-session fair share), one device's
+// recovery session is deliberately cut mid-stream to prove resume-not-
+// restart, and after the restore an offload outage exercises the redial
+// path while the retention backlog drains. Every restored image is
+// verified page-identical against the pre-attack snapshot.
+
+// RecoveryDeviceRow reports one device of the recovery fleet.
+type RecoveryDeviceRow struct {
+	Device      uint64
+	Role        string // workload profile, "+<attack>" when attacked
+	Attacked    bool
+	Detected    bool
+	FalseAlerts int
+
+	SnapshotPages int  // pages verified against the pre-attack snapshot
+	Verified      bool // every snapshot page read back identical
+
+	RTOms             float64 // simulated restore span (power-on to restored)
+	RestoredPages     int
+	ZeroedPages       int
+	KeptPages         int
+	Chunks            int
+	Resumes           int // mid-restore disconnects survived (resumed, not restarted)
+	RestoreWireMiB    float64
+	RestoreLogicalMiB float64
+
+	BacklogPages int     // retention backlog right after restore
+	Redials      uint64  // offload sessions re-established after the outage
+	ResumeGap    uint64  // entries adopted from FetchHead instead of re-shipped
+	DrainMs      float64 // simulated time to drain the backlog across the outage
+}
+
+// RecoverySummary aggregates the recovery fleet run.
+type RecoverySummary struct {
+	Devices     int
+	Attacked    int
+	Caught      int
+	FalseAlerts int
+	AllVerified bool
+
+	MeanRTOms    float64
+	MaxRTOms     float64
+	RestoreGBps  float64 // aggregate logical restore bytes / max RTO (concurrent restores)
+	WireMiB      float64
+	LogicalMiB   float64
+	WireRatio    float64 // logical / wire: the codec working for recovery traffic
+	Resumes      int
+	PeakSessions int // most devices restoring at once (recovery link)
+	TotalRedials uint64
+	MaxDrainMs   float64
+}
+
+// RecoveryFleetResult is the full recovery fleet report.
+type RecoveryFleetResult struct {
+	Rows    []RecoveryDeviceRow
+	Summary RecoverySummary
+}
+
+// recoveredDevice carries one device's state across the power cycle.
+type recoveredDevice struct {
+	cfg   core.Config
+	nand  *nand.Device
+	cut   uint64            // rollback point: log seq at the pre-attack snapshot
+	want  map[uint64][]byte // expected page contents at the cut
+	endAt simclock.Time     // device sim clock at power-off
+	row   RecoveryDeviceRow
+}
+
+// FleetRecovery runs the fleet power-cycle recovery scenario.
+func FleetRecovery(s Scale, devices int) (*RecoveryFleetResult, error) {
+	if devices <= 0 {
+		devices = 8
+	}
+	s = fleetScale(s)
+	store := remote.NewStore(remote.NewMemStore())
+	srv := remote.NewServer(store, PSK)
+	engine := detect.NewEngine(detectConfig(s))
+	engine.Attach(store)
+	link := remote.NewRecoveryLink(0, 0) // default server-NIC model
+
+	// The mid-restore disconnect victim: an attacked device when there is
+	// one (odd indexes attack), else the only device.
+	chokeIdx := 0
+	if devices > 1 {
+		chokeIdx = 1
+	}
+
+	// Phase A — workloads + attacks + streaming detection, concurrently.
+	devs := make([]*recoveredDevice, devices)
+	errs := make([]error, devices)
+	var wg sync.WaitGroup
+	attackIdx := 0
+	for i := 0; i < devices; i++ {
+		var atk attack.Attack
+		if i%2 == 1 {
+			atk = makeAttack(fleetAttacks[attackIdx%len(fleetAttacks)])
+			attackIdx++
+		}
+		wg.Add(1)
+		go func(i int, atk attack.Attack) {
+			defer wg.Done()
+			devs[i], errs[i] = runRecoverySetup(s, srv, engine, uint64(i+1), i, atk)
+		}(i, atk)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("device %d setup: %w", i+1, errs[i])
+		}
+	}
+
+	// Phase B/C — power-cycle all N, then reopen + concurrent streamed
+	// restore + verify + outage drain. The barrier above means every
+	// device starts recovering at once: this is the fleet-wide incident.
+	for i := 0; i < devices; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runRecoveryRestore(srv, link, devs[i], uint64(i+1), i == chokeIdx)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("device %d recovery: %w", i+1, errs[i])
+		}
+	}
+
+	rows := make([]RecoveryDeviceRow, devices)
+	sum := RecoverySummary{Devices: devices, AllVerified: true, PeakSessions: link.PeakSessions()}
+	var totalRTO, maxRTO simclock.Duration
+	var logicalBytes uint64
+	for i, d := range devs {
+		rows[i] = d.row
+		r := &rows[i]
+		if r.Attacked {
+			sum.Attacked++
+			if r.Detected {
+				sum.Caught++
+			}
+		}
+		sum.FalseAlerts += r.FalseAlerts
+		if !r.Verified {
+			sum.AllVerified = false
+		}
+		rto := simclock.Duration(r.RTOms * float64(simclock.Millisecond))
+		totalRTO += rto
+		if rto > maxRTO {
+			maxRTO = rto
+		}
+		sum.WireMiB += r.RestoreWireMiB
+		sum.LogicalMiB += r.RestoreLogicalMiB
+		logicalBytes += uint64(r.RestoreLogicalMiB * float64(1<<20))
+		sum.Resumes += r.Resumes
+		sum.TotalRedials += r.Redials
+		if r.DrainMs > sum.MaxDrainMs {
+			sum.MaxDrainMs = r.DrainMs
+		}
+	}
+	sum.MeanRTOms = float64(totalRTO) / float64(devices) / 1e6
+	sum.MaxRTOms = float64(maxRTO) / 1e6
+	if maxRTO > 0 {
+		sum.RestoreGBps = float64(logicalBytes) / maxRTO.Seconds() / 1e9
+	}
+	if sum.WireMiB > 0 {
+		sum.WireRatio = sum.LogicalMiB / sum.WireMiB
+	}
+	return &RecoveryFleetResult{Rows: rows, Summary: sum}, nil
+}
+
+// runRecoverySetup drives one device up to the power cycle: benign
+// replay, pre-attack snapshot + flush, then the assigned attack (or more
+// benign churn, so benign devices also have real rollback work), a final
+// flush, and the detection verdict.
+func runRecoverySetup(s Scale, srv *remote.Server, engine *detect.Engine, deviceID uint64, idx int, atk attack.Attack) (*recoveredDevice, error) {
+	client, err := remote.Loopback(srv, PSK, deviceID)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	cfg := core.DefaultConfig()
+	cfg.FTL = s.ftlConfig()
+	cfg.DeviceID = deviceID
+	cfg.OffloadHighWater = 0.50
+	cfg.OffloadLowWater = 0.25
+	dev := core.New(cfg, client)
+	defer dev.Close()
+	fs := host.NewFlatFS(dev, simclock.NewClock())
+	d := &recoveredDevice{cfg: cfg}
+
+	profName := fleetProfiles[idx%len(fleetProfiles)]
+	d.row = RecoveryDeviceRow{Device: deviceID, Role: profName}
+	prof, ok := workload.ProfileByName(profName)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", profName)
+	}
+	replayOps := s.TraceOps / 16
+	if replayOps < 250 {
+		replayOps = 250
+	}
+	g := workload.NewGenerator(prof, s.PageSize, dev.LogicalPages(), int64(4000+idx))
+	var ops []batch.Op
+	var end simclock.Time
+	for j := 0; j < replayOps; j++ {
+		rec := g.Next()
+		ops = recordBatch(g, rec, dev.LogicalPages(), ops[:0])
+		if len(ops) == 0 {
+			continue
+		}
+		done, err := submitRecord(dev, ops, rec.At)
+		if err != nil {
+			return nil, err
+		}
+		end = simclock.Max(end, done)
+	}
+	fs.Clock().AdvanceTo(end)
+
+	// Pre-attack snapshot: seed the corpus, flush everything remote, and
+	// remember the rollback point plus the exact page contents.
+	rng := rand.New(rand.NewSource(int64(177 + idx)))
+	snap, extents, err := seedAndSnapshot(fs, rng, s)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dev.OffloadNow(fs.Clock().Now()); err != nil {
+		return nil, err
+	}
+	d.cut = dev.Log().NextSeq()
+	d.want = expectedPages(snap, extents, s.PageSize)
+	d.row.SnapshotPages = len(d.want)
+
+	if atk != nil {
+		d.row.Attacked = true
+		d.row.Role = profName + "+" + atk.Name()
+		if _, err := atk.Run(fs, rng); err != nil {
+			return nil, err
+		}
+	} else {
+		// Benign post-snapshot churn: legitimate overwrites the drill's
+		// fleet-wide rollback will discard, so benign devices restore real
+		// work too (and must stay false-alert free doing it).
+		at := fs.Clock().Now()
+		for j := 0; j < replayOps/2; j++ {
+			rec := g.Next()
+			ops = recordBatch(g, rec, dev.LogicalPages(), ops[:0])
+			if len(ops) == 0 {
+				continue
+			}
+			if at, err = submitRecord(dev, ops, at); err != nil {
+				return nil, err
+			}
+		}
+		fs.Clock().AdvanceTo(at)
+	}
+
+	// Final flush so streaming detection has the full history before the
+	// power cycle.
+	if _, err := dev.OffloadNow(fs.Clock().Now()); err != nil {
+		return nil, err
+	}
+	for _, a := range engine.AlertsFor(deviceID) {
+		if a.AtSeq >= d.cut {
+			d.row.Detected = true
+		} else {
+			d.row.FalseAlerts++
+		}
+	}
+	d.nand = dev.FTL().Device() // the flash array survives the power cycle
+	d.endAt = fs.Clock().Now()
+	return d, nil
+}
+
+// runRecoveryRestore is one device's recovery: reopen over the surviving
+// flash, stream-restore the pre-attack image (resuming through a cut link
+// when choked), verify page-identical, then drain the restore backlog
+// across a simulated offload outage via the redial path.
+func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recoveredDevice, deviceID uint64, choke bool) error {
+	dial := func() (*remote.Client, error) { return remote.Loopback(srv, PSK, deviceID) }
+	d.cfg.Dial = dial // the reopened device redials dead offload sessions itself
+
+	client, err := dial()
+	if err != nil {
+		return err
+	}
+	dev, err := core.Reopen(d.cfg, d.nand, client)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	defer dev.Close()
+
+	// The choked device's first recovery session dies mid-stream: the
+	// restorer must resume from its cursor on a fresh session.
+	restoreDial := dial
+	if choke {
+		dials := 0
+		restoreDial = func() (*remote.Client, error) {
+			dials++
+			if dials == 1 {
+				dc, sc := net.Pipe()
+				go srv.HandleConn(sc)
+				// Handshake (2 reads) + one 3-read chunk frame: the link
+				// dies with the first chunk applied and the rest unsent.
+				return remote.Dial(remote.NewChokeConn(dc, 5), PSK, deviceID)
+			}
+			return dial()
+		}
+	}
+
+	at := d.endAt
+	at, rep, err := dev.RestoreImage(d.cut, core.RestoreOptions{
+		Dial:       restoreDial,
+		Link:       link,
+		ChunkPages: 16,
+	}, at)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	d.row.RTOms = float64(rep.RTO) / 1e6
+	d.row.RestoredPages = rep.PagesRestored
+	d.row.ZeroedPages = rep.PagesZeroed
+	d.row.KeptPages = rep.PagesKept
+	d.row.Chunks = rep.Chunks
+	d.row.Resumes = rep.Resumes
+	d.row.RestoreWireMiB = float64(rep.BytesWire) / float64(1<<20)
+	d.row.RestoreLogicalMiB = float64(rep.BytesLogical) / float64(1<<20)
+	if choke && rep.Resumes == 0 {
+		return fmt.Errorf("choked device restored without a resume (disconnect not exercised)")
+	}
+
+	// Page-identical verification against the pre-attack snapshot.
+	d.row.Verified = true
+	for lpn, want := range d.want {
+		got, _, err := dev.Read(lpn, at)
+		if err != nil {
+			return fmt.Errorf("verify read lpn %d: %w", lpn, err)
+		}
+		if !bytes.Equal(got, want) {
+			d.row.Verified = false
+			break
+		}
+	}
+	d.row.BacklogPages = dev.Stats().RetainedNow
+
+	// Simulated outage: the offload session dies with restore backlog
+	// still retained; the engine must redial and drain it.
+	client.Close()
+	drainStart := at
+	at, err = dev.OffloadNow(at)
+	if err != nil {
+		return fmt.Errorf("backlog drain: %w", err)
+	}
+	d.row.DrainMs = float64(at.Sub(drainStart)) / 1e6
+	st := dev.Stats()
+	d.row.Redials = st.Redials
+	d.row.ResumeGap = st.ResumeGap
+	if st.LastOffloadError != "" {
+		return fmt.Errorf("sticky offload error after drain: %s", st.LastOffloadError)
+	}
+	return nil
+}
+
+// RenderFleetRecovery renders the per-device table and the summary.
+func RenderFleetRecovery(res *RecoveryFleetResult) string {
+	tb := metrics.NewTable("device", "role", "detected", "RTO ms", "restored/zero/kept",
+		"chunks", "resumes", "wire MiB", "logical MiB", "verified", "backlog", "redials", "gap", "drain ms")
+	for _, r := range res.Rows {
+		det := "-"
+		if r.Detected {
+			det = "caught"
+		} else if r.Attacked {
+			det = "MISSED"
+		}
+		ver := "OK"
+		if !r.Verified {
+			ver = "MISMATCH"
+		}
+		tb.AddRow(r.Device, r.Role, det, r.RTOms,
+			fmt.Sprintf("%d/%d/%d", r.RestoredPages, r.ZeroedPages, r.KeptPages),
+			r.Chunks, r.Resumes, r.RestoreWireMiB, r.RestoreLogicalMiB,
+			ver, r.BacklogPages, r.Redials, r.ResumeGap, r.DrainMs)
+	}
+	s := res.Summary
+	verified := "all verified page-identical"
+	if !s.AllVerified {
+		verified = "VERIFICATION FAILED"
+	}
+	return tb.String() + fmt.Sprintf(
+		"recovery: %d devices (%d attacked, %d caught, %d false alerts), %s\n"+
+			"          RTO mean %.2f ms / max %.2f ms, aggregate restore %.3f GB/s over %d concurrent sessions\n"+
+			"          restore wire %.2f MiB vs logical %.2f MiB (%.2fx codec), %d mid-stream resumes\n"+
+			"          outage drain: %d redials, max %.2f ms backlog-drain\n",
+		s.Devices, s.Attacked, s.Caught, s.FalseAlerts, verified,
+		s.MeanRTOms, s.MaxRTOms, s.RestoreGBps, s.PeakSessions,
+		s.WireMiB, s.LogicalMiB, s.WireRatio, s.Resumes,
+		s.TotalRedials, s.MaxDrainMs)
+}

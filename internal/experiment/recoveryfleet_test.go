@@ -1,0 +1,49 @@
+package experiment
+
+import "testing"
+
+// TestFleetRecoveryScenario is the CI-sized fleet power-cycle recovery
+// run: 2 devices (one attacked), concurrent restore, one deliberately cut
+// recovery link, verified rollback, and an outage-drain with redial.
+func TestFleetRecoveryScenario(t *testing.T) {
+	res, err := FleetRecovery(SmallScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if s.Devices != 2 || s.Attacked != 1 {
+		t.Fatalf("fleet shape: %+v", s)
+	}
+	if s.Caught != s.Attacked {
+		t.Fatalf("attacks caught %d/%d", s.Caught, s.Attacked)
+	}
+	if s.FalseAlerts != 0 {
+		t.Fatalf("false alerts: %d", s.FalseAlerts)
+	}
+	if !s.AllVerified {
+		t.Fatal("restored images not page-identical to the pre-attack state")
+	}
+	if s.Resumes == 0 {
+		t.Fatal("the choked device never resumed a cut stream")
+	}
+	if s.MaxRTOms <= 0 || s.RestoreGBps <= 0 {
+		t.Fatalf("implausible restore timing: %+v", s)
+	}
+	if s.WireRatio <= 1 {
+		t.Fatalf("restore traffic not compressed: ratio %.2f", s.WireRatio)
+	}
+	if s.PeakSessions != 2 {
+		t.Fatalf("restores were not concurrent: peak sessions %d", s.PeakSessions)
+	}
+	if s.TotalRedials < uint64(s.Devices) {
+		t.Fatalf("outage did not exercise redial on every device: %d", s.TotalRedials)
+	}
+	for _, r := range res.Rows {
+		if r.SnapshotPages == 0 || !r.Verified {
+			t.Fatalf("device %d: %+v", r.Device, r)
+		}
+		if r.RestoredPages == 0 {
+			t.Fatalf("device %d restored nothing (no rollback work): %+v", r.Device, r)
+		}
+	}
+}

@@ -42,9 +42,11 @@ const (
 	MsgSegmentAck    // server -> device: durable up to sequence N
 	MsgCheckpoint    // device -> server: mapping snapshot
 	MsgCheckpointAck
-	MsgFetch     // device -> server: retrieval request (recovery/forensics)
-	MsgFetchResp // server -> device
+	MsgFetch      // device -> server: retrieval request (recovery/forensics)
+	MsgFetchResp  // server -> device
 	MsgError
+	MsgFetchChunk // server -> device: one codec-framed chunk of a streamed fetch
+	MsgFetchEnd   // server -> device: stream trailer (StreamEnd)
 )
 
 func (t MsgType) String() string {
@@ -67,6 +69,10 @@ func (t MsgType) String() string {
 		return "fetch-resp"
 	case MsgError:
 		return "error"
+	case MsgFetchChunk:
+		return "fetch-chunk"
+	case MsgFetchEnd:
+		return "fetch-end"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

@@ -28,42 +28,97 @@ const (
 	// FetchHead requests the remote chain state: highest contiguous
 	// sequence and its chain hash (used to anchor forensic verification).
 	FetchHead
+	// FetchImageStream requests the point-in-time image as a stream of
+	// LPN-ordered, codec-framed chunks (MsgFetchChunk* then MsgFetchEnd)
+	// instead of one monolithic reply. From is the first LPN wanted, which
+	// is how a restorer resumes an interrupted stream; ChunkPages bounds
+	// pages per chunk (0 = server default).
+	FetchImageStream
+	// FetchRange requests, for every LPN with From <= LPN < To, the newest
+	// retained version written before sequence Before — one codec-framed
+	// chunk of the image, for targeted re-fetches.
+	FetchRange
 )
 
 // FetchReq is a retrieval request issued during recovery or forensics.
+// For the image kinds (FetchImage, FetchImageStream, FetchRange) From/To
+// bound logical page numbers rather than log sequences.
 type FetchReq struct {
-	Kind   FetchKind
-	LPN    uint64
-	From   uint64
-	To     uint64
-	Before uint64
+	Kind       FetchKind
+	LPN        uint64
+	From       uint64
+	To         uint64
+	Before     uint64
+	ChunkPages uint32 // FetchImageStream: pages per chunk (0 = server default)
 }
 
 // ErrBadMessage reports a payload that does not decode.
 var ErrBadMessage = errors.New("nvmeoe: malformed message payload")
 
+// fetch req sizes: the legacy encoding predates ChunkPages; both decode.
+const (
+	fetchReqSizeLegacy = 1 + 4*8
+	fetchReqSize       = fetchReqSizeLegacy + 4
+)
+
 // Marshal encodes the request.
 func (r *FetchReq) Marshal() []byte {
-	b := make([]byte, 0, 1+4*8)
+	b := make([]byte, 0, fetchReqSize)
 	b = append(b, byte(r.Kind))
 	b = binary.LittleEndian.AppendUint64(b, r.LPN)
 	b = binary.LittleEndian.AppendUint64(b, r.From)
 	b = binary.LittleEndian.AppendUint64(b, r.To)
 	b = binary.LittleEndian.AppendUint64(b, r.Before)
+	b = binary.LittleEndian.AppendUint32(b, r.ChunkPages)
 	return b
 }
 
-// UnmarshalFetchReq decodes a request.
+// UnmarshalFetchReq decodes a request. Requests from pre-streaming devices
+// lack the ChunkPages field and decode with ChunkPages zero.
 func UnmarshalFetchReq(b []byte) (FetchReq, error) {
-	if len(b) != 1+4*8 {
+	if len(b) != fetchReqSize && len(b) != fetchReqSizeLegacy {
 		return FetchReq{}, fmt.Errorf("%w: fetch req size %d", ErrBadMessage, len(b))
 	}
-	return FetchReq{
+	r := FetchReq{
 		Kind:   FetchKind(b[0]),
 		LPN:    binary.LittleEndian.Uint64(b[1:]),
 		From:   binary.LittleEndian.Uint64(b[9:]),
 		To:     binary.LittleEndian.Uint64(b[17:]),
 		Before: binary.LittleEndian.Uint64(b[25:]),
+	}
+	if len(b) == fetchReqSize {
+		r.ChunkPages = binary.LittleEndian.Uint32(b[33:])
+	}
+	return r, nil
+}
+
+// StreamEnd terminates a FetchImageStream reply: how much the stream
+// carried, and the first LPN past the streamed range (a resume issued with
+// From = NextLPN would continue an already-complete stream with nothing).
+type StreamEnd struct {
+	Chunks  uint64
+	Pages   uint64
+	NextLPN uint64
+}
+
+// Marshal encodes the stream trailer.
+func (e *StreamEnd) Marshal() []byte {
+	b := make([]byte, 0, 3*8)
+	b = binary.LittleEndian.AppendUint64(b, e.Chunks)
+	b = binary.LittleEndian.AppendUint64(b, e.Pages)
+	b = binary.LittleEndian.AppendUint64(b, e.NextLPN)
+	return b
+}
+
+// UnmarshalStreamEnd decodes a stream trailer.
+func UnmarshalStreamEnd(b []byte) (StreamEnd, error) {
+	if len(b) != 3*8 {
+		return StreamEnd{}, fmt.Errorf("%w: stream end size %d", ErrBadMessage, len(b))
+	}
+	return StreamEnd{
+		Chunks:  binary.LittleEndian.Uint64(b),
+		Pages:   binary.LittleEndian.Uint64(b[8:]),
+		NextLPN: binary.LittleEndian.Uint64(b[16:]),
 	}, nil
 }
 

@@ -287,13 +287,38 @@ func TestSegmentOverWire(t *testing.T) {
 }
 
 func TestFetchReqRoundTrip(t *testing.T) {
-	r := FetchReq{Kind: FetchVersion, LPN: 5, From: 1, To: 2, Before: 99}
+	r := FetchReq{Kind: FetchVersion, LPN: 5, From: 1, To: 2, Before: 99, ChunkPages: 64}
 	got, err := UnmarshalFetchReq(r.Marshal())
 	if err != nil || got != r {
 		t.Fatalf("round trip: %+v %v", got, err)
 	}
 	if _, err := UnmarshalFetchReq([]byte{1, 2}); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("short req err = %v", err)
+	}
+}
+
+// TestFetchReqLegacyDecodes: requests from pre-streaming devices lack the
+// ChunkPages field and must still decode (with ChunkPages zero).
+func TestFetchReqLegacyDecodes(t *testing.T) {
+	r := FetchReq{Kind: FetchImage, Before: 7}
+	legacy := r.Marshal()[:fetchReqSizeLegacy]
+	got, err := UnmarshalFetchReq(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != FetchImage || got.Before != 7 || got.ChunkPages != 0 {
+		t.Fatalf("legacy decode: %+v", got)
+	}
+}
+
+func TestStreamEndRoundTrip(t *testing.T) {
+	e := StreamEnd{Chunks: 3, Pages: 129, NextLPN: 4096}
+	got, err := UnmarshalStreamEnd(e.Marshal())
+	if err != nil || got != e {
+		t.Fatalf("round trip: %+v %v", got, err)
+	}
+	if _, err := UnmarshalStreamEnd([]byte{1}); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("short stream end accepted")
 	}
 }
 

@@ -109,6 +109,17 @@ func (e *Engine) RestoreWindow(win forensic.Window, at simclock.Time) (simclock.
 	return at, rep, nil
 }
 
+// RestoreImage rolls the whole device back to its state just before log
+// sequence `before`, in place, through the core's resumable streamed
+// restorer: remote history arrives in codec-framed chunks over a
+// dedicated recovery session, pages apply incrementally, and a mid-stream
+// disconnect resumes from the cursor. This is the rollback path fleet
+// power-cycle recovery drives — same restorer, same chunk stream, same
+// link model as any other restore.
+func (e *Engine) RestoreImage(before uint64, opts core.RestoreOptions, at simclock.Time) (simclock.Time, core.RestoreReport, error) {
+	return e.dev.RestoreImage(before, opts, at)
+}
+
 // RebuildReport summarizes a full-device rebuild.
 type RebuildReport struct {
 	PagesWritten int

@@ -1,0 +1,38 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrLinkChoked is what a ChokeConn returns once its read budget is spent.
+var ErrLinkChoked = errors.New("remote: fault-injected link drop")
+
+// ChokeConn is a deterministic fault-injection vehicle: it lets Budget
+// Read calls through and then drops the link. Under net.Pipe each frame
+// write arrives as its own Read, so a budget of handshake reads plus
+// three reads per frame cuts a session after a known number of frames —
+// exactly mid-stream. The recovery experiment uses it to cut one
+// device's restore session; resume/redial tests use it the same way.
+type ChokeConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+// NewChokeConn wraps nc with a read budget.
+func NewChokeConn(nc net.Conn, budget int) *ChokeConn {
+	return &ChokeConn{Conn: nc, budget: budget}
+}
+
+func (c *ChokeConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.budget <= 0 {
+		c.mu.Unlock()
+		return 0, ErrLinkChoked
+	}
+	c.budget--
+	c.mu.Unlock()
+	return c.Conn.Read(p)
+}

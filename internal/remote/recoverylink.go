@@ -1,0 +1,99 @@
+package remote
+
+import (
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// RecoveryLink models the storage server's NIC during fleet recovery.
+// Steady-state offload is device-bound — each device owns its NVMe-oE
+// link — but recovery inverts the direction: after a fleet-wide incident,
+// N devices pull their images from ONE server concurrently, and the
+// server's egress NIC is the bottleneck (Project Almanac's observation
+// that restore traffic, not ingest, is the bandwidth cliff). The model is
+// processor sharing with per-session fair share: a chunk transferred while
+// k sessions are recovering sees BW/k of the NIC.
+//
+// Devices recovering concurrently register with Open and charge each
+// chunk's simulated time through ChunkTime. The instantaneous session
+// count prices the share, so a device that finishes early returns its
+// share to the stragglers — exactly the fairness a per-connection TCP
+// share would give.
+type RecoveryLink struct {
+	// RTT is the per-chunk request round trip; MBps the server NIC
+	// bandwidth shared by every recovering session. Zero values take the
+	// defaults below.
+	RTT  simclock.Duration
+	MBps float64
+
+	mu     sync.Mutex
+	active int
+	peak   int
+}
+
+// Recovery link defaults: a server NIC a few times faster than one
+// device's offload link (25 GbE-class against the 1200 MB/s device link),
+// with a slightly longer round trip for the request/credit exchange.
+const (
+	DefaultRecoveryRTT  = 50 * simclock.Microsecond
+	DefaultRecoveryMBps = 3000
+)
+
+// NewRecoveryLink returns a link model; rtt/mbps <= 0 take the defaults.
+func NewRecoveryLink(rtt simclock.Duration, mbps float64) *RecoveryLink {
+	return &RecoveryLink{RTT: rtt, MBps: mbps}
+}
+
+// Open registers one recovering session and returns its release. Sessions
+// must bracket their whole restore so the fair share prices concurrency
+// honestly.
+func (l *RecoveryLink) Open() (release func()) {
+	l.mu.Lock()
+	l.active++
+	if l.active > l.peak {
+		l.peak = l.active
+	}
+	l.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			l.active--
+			l.mu.Unlock()
+		})
+	}
+}
+
+// ChunkTime prices one chunk transfer at the current fair share:
+// RTT + bytes / (NIC bandwidth / active sessions).
+func (l *RecoveryLink) ChunkTime(bytes int) simclock.Duration {
+	rtt, mbps := l.RTT, l.MBps
+	if rtt <= 0 {
+		rtt = DefaultRecoveryRTT
+	}
+	if mbps <= 0 {
+		mbps = DefaultRecoveryMBps
+	}
+	l.mu.Lock()
+	share := l.active
+	l.mu.Unlock()
+	if share < 1 {
+		share = 1
+	}
+	return rtt + simclock.Duration(float64(bytes)*float64(share)/(mbps*1e6)*float64(simclock.Second))
+}
+
+// Active returns the number of sessions currently recovering.
+func (l *RecoveryLink) Active() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active
+}
+
+// PeakSessions returns the most sessions ever recovering at once.
+func (l *RecoveryLink) PeakSessions() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.peak
+}

@@ -258,6 +258,94 @@ func (s *Store) Image(deviceID, before uint64) []oplog.PageRecord {
 	return out
 }
 
+// ImageRange returns the next chunk of a point-in-time image: for up to
+// maxPages LPNs with fromLPN <= LPN < toLPN that have a retained version
+// written before the given sequence, the newest such version, in LPN
+// order. nextLPN is one past the last returned LPN and more reports
+// whether further qualifying LPNs exist at or past it.
+//
+// The streamed restore path calls this once per chunk rather than
+// snapshotting the whole image up front: versions that arrive while the
+// restore is in flight (a recovering device's own restore-churn offloads)
+// are visible to later chunks, so the stream never serves a view staler
+// than the chain head it resumed from.
+func (s *Store) ImageRange(deviceID, fromLPN, toLPN, before uint64, maxPages int) (pages []oplog.PageRecord, nextLPN uint64, more bool) {
+	d, ok := s.lookup(deviceID)
+	if !ok {
+		return nil, fromLPN, false
+	}
+	if maxPages <= 0 {
+		maxPages = 1
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	// Bounded selection: keep the maxPages+1 smallest qualifying LPNs in
+	// a max-heap (the +1 learns whether more remain), so one chunk costs
+	// O(versions · log chunk) — never a sort of the whole remaining tail,
+	// and never an allocation sized by a wire-supplied value.
+	k := maxPages + 1
+	lpns := make([]uint64, 0, min(k, 4096))
+	for lpn, vs := range d.versions {
+		if lpn < fromLPN || lpn >= toLPN {
+			continue
+		}
+		if i := sort.Search(len(vs), func(i int) bool { return vs[i].WriteSeq >= before }); i == 0 {
+			continue
+		}
+		if len(lpns) < k {
+			lpns = append(lpns, lpn)
+			lpnHeapUp(lpns)
+		} else if lpn < lpns[0] {
+			lpns[0] = lpn
+			lpnHeapDown(lpns)
+		}
+	}
+	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	if len(lpns) > maxPages {
+		lpns, more = lpns[:maxPages], true
+	}
+	for _, lpn := range lpns {
+		vs := d.versions[lpn]
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].WriteSeq >= before })
+		pages = append(pages, vs[i-1])
+	}
+	nextLPN = fromLPN
+	if n := len(pages); n > 0 {
+		nextLPN = pages[n-1].LPN + 1
+	}
+	return pages, nextLPN, more
+}
+
+// lpnHeapUp restores the max-heap property after appending to h.
+func lpnHeapUp(h []uint64) {
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// lpnHeapDown restores the max-heap property after replacing h[0].
+func lpnHeapDown(h []uint64) {
+	for i := 0; ; {
+		big := i
+		if l := 2*i + 1; l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
 // Checkpoint returns the newest checkpoint with Seq <= before.
 func (s *Store) Checkpoint(deviceID, before uint64) (nvmeoe.Checkpoint, bool) {
 	d, ok := s.lookup(deviceID)
