@@ -15,6 +15,7 @@
 //	rssdbench -exp fleet          # N devices, one server: async offload + streaming detection
 //	rssdbench -exp retention      # storage tiers: local server vs modeled S3 (capacity/latency/cost)
 //	rssdbench -exp recovery       # fleet power-cycle: attack -> detect -> N concurrent streamed restores
+//	rssdbench -exp datapath       # allocation-tracked hot loops + encode-worker vs inline-encode replay
 //
 // -scale small uses the test-sized configuration for a quick pass, and
 // -short shrinks further to the CI smoke size (small scale, 2 devices).
@@ -22,6 +23,8 @@
 // s3sim, a comma-separated list, or all.
 // -json additionally writes each experiment's rows to BENCH_<name>.json
 // so successive runs can be diffed to track the performance trajectory.
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// selected experiments, so perf work can show before/after flame graphs.
 // An unknown -exp value is rejected with the list of registered
 // experiments.
 package main
@@ -31,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"time"
@@ -39,14 +44,53 @@ import (
 	"repro/internal/remote"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with deferred cleanup (pprof stop/write) that os.Exit would
+// skip: every exit path returns through it.
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run: all, or one registered name (an unknown name prints the registry)")
 	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_<name>.json per experiment")
 	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet, retention, and recovery")
 	backendFlag := flag.String("backend", "all", "storage tier(s) for -exp retention: mem, dir, s3sim, a comma list, or all")
 	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile to %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle: profile live + cumulative allocation sites
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote allocation profile to %s\n", *memProfile)
+		}()
+	}
 
 	var s experiment.Scale
 	switch *scaleFlag {
@@ -56,7 +100,7 @@ func main() {
 		s = experiment.SmallScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 	if *short {
 		s = experiment.SmallScale()
@@ -78,7 +122,7 @@ func main() {
 	for _, name := range backends {
 		if !slices.Contains(remote.Backends(), name) {
 			fmt.Fprintf(os.Stderr, "unknown backend %q (have %v)\n", name, remote.Backends())
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -246,6 +290,16 @@ func main() {
 		return persist("recovery", res)
 	})
 
+	register("datapath", func() error {
+		res, err := experiment.Datapath(s, *fleetDevices)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Datapath — allocation-tracked hot loops + encode-worker vs inline-encode fleet replay (%d devices)\n", *fleetDevices)
+		fmt.Print(experiment.RenderDatapath(res))
+		return persist("datapath", res)
+	})
+
 	if *exp != "all" {
 		names := make([]string, 0, len(defs))
 		known := false
@@ -256,7 +310,7 @@ func main() {
 		if !known {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (registered: all, %s)\n",
 				*exp, strings.Join(names, ", "))
-			os.Exit(2)
+			return 2
 		}
 	}
 	for _, d := range defs {
@@ -267,8 +321,9 @@ func main() {
 		fmt.Printf("==> %s\n", d.name)
 		if err := d.fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", d.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("    (%s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

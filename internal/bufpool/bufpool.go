@@ -1,0 +1,207 @@
+// Package bufpool is the shared buffer economy of the hot datapath: a
+// size-classed pool of byte buffers plus pooled DEFLATE codec state, so
+// the steady-state seal→compress→ship→ingest path allocates nothing per
+// operation.
+//
+// Two costs motivate it. A flate.Writer is a multi-kilobyte struct that
+// compress/flate rebuilds from scratch on every NewWriter call — the single
+// largest per-segment allocation the offload engine used to make. And every
+// NAND page copy, segment marshal, and codec frame used to be a fresh
+// make([]byte, ...) that lived for microseconds. Both are rental, not
+// ownership, problems: Get a buffer, fill it, Release it when the bytes
+// have moved on.
+//
+// Contract: Release returns the buffer to the pool for immediate reuse, so
+// a released buffer must not be read or written again — reuse-after-release
+// is the classic pooling bug, and the CI race job runs the fleet, retention,
+// and recovery smokes precisely to shake it out. Releasing is optional
+// (a dropped buffer is garbage-collected like any other slice) and nil-safe,
+// so error paths can release unconditionally.
+package bufpool
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// Size classes are powers of two from minClassBytes to maxClassBytes.
+// Requests above the largest class are served by plain allocation and
+// dropped on Release — pooling pathological one-off giants would pin their
+// memory forever.
+const (
+	minClassShift = 9  // 512 B: the smallest simulated page size
+	maxClassShift = 24 // 16 MiB: comfortably above the largest segment blob
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// Buf is a pooled byte buffer. B has length zero and at least the requested
+// capacity at Get; callers append into it (or reslice it up). Size your Get
+// so the buffer does not grow: append growth lands on a non-class capacity,
+// which Release silently drops (the garbage collector reclaims it) rather
+// than re-pooling — correct, but one allocation instead of zero for that
+// op. The hot paths avoid this by sizing exactly (MarshaledSize,
+// BlobOverhead+len, SegmentBlobLogicalSize).
+type Buf struct {
+	B []byte
+}
+
+var pools [numClasses]sync.Pool
+
+// classFor returns the smallest class index holding n bytes, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassShift
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a buffer with len(b.B) == 0 and cap(b.B) >= n. In steady
+// state (matched Release calls) it allocates nothing.
+func Get(n int) *Buf {
+	c := classFor(n)
+	if c < 0 {
+		return &Buf{B: make([]byte, 0, n)}
+	}
+	if b, _ := pools[c].Get().(*Buf); b != nil {
+		b.B = b.B[:0]
+		return b
+	}
+	return &Buf{B: make([]byte, 0, 1<<(minClassShift+c))}
+}
+
+// Release returns the buffer to its pool (classified by current capacity)
+// for reuse. The caller must not touch b.B afterwards. Release is nil-safe
+// and idempotent only in the sense that releasing nil is a no-op — a double
+// release of a live buffer is a bug the race smokes exist to catch.
+func (b *Buf) Release() {
+	if b == nil || cap(b.B) == 0 {
+		return
+	}
+	// Only exact class-sized capacities go back: append growth lands on
+	// arbitrary capacities, and re-classifying a 6000-byte array as the
+	// 8192 class would hand out buffers shorter than their class promises.
+	// A grown buffer is therefore dropped here, not migrated.
+	n := cap(b.B)
+	if n&(n-1) != 0 || n < 1<<minClassShift || n > 1<<maxClassShift {
+		return
+	}
+	c := classFor(n)
+	b.B = b.B[:0]
+	pools[c].Put(b)
+}
+
+// appendSink is the io.Writer a pooled Deflater compresses into: an append
+// target that lives inside the pooled wrapper, so taking its address never
+// escapes a fresh allocation.
+type appendSink struct {
+	b []byte
+}
+
+func (s *appendSink) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// Deflater is a pooled flate.Writer (BestSpeed, the codec's one level)
+// bundled with its output sink. Rent with GetDeflater, compress with
+// Append, and Release when done.
+type Deflater struct {
+	w    *flate.Writer
+	sink appendSink
+}
+
+var deflaters = sync.Pool{New: func() any {
+	d := &Deflater{}
+	// NewWriter only fails on an invalid level; BestSpeed is valid.
+	d.w, _ = flate.NewWriter(&d.sink, flate.BestSpeed)
+	return d
+}}
+
+// GetDeflater rents a pooled DEFLATE compressor.
+func GetDeflater() *Deflater { return deflaters.Get().(*Deflater) }
+
+// Release returns the compressor to the pool.
+func (d *Deflater) Release() {
+	if d == nil {
+		return
+	}
+	d.sink.b = nil // never retain caller memory across rentals
+	deflaters.Put(d)
+}
+
+// Append appends the complete DEFLATE stream of p to dst and returns the
+// extended slice. With sufficient dst capacity it performs zero
+// allocations.
+func (d *Deflater) Append(dst, p []byte) ([]byte, error) {
+	d.sink.b = dst
+	d.w.Reset(&d.sink)
+	if _, err := d.w.Write(p); err != nil {
+		d.sink.b = nil
+		return dst, err
+	}
+	err := d.w.Close()
+	out := d.sink.b
+	d.sink.b = nil
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+// Inflater is a pooled flate reader bundled with its input source.
+type Inflater struct {
+	r   io.ReadCloser
+	src bytes.Reader
+}
+
+var inflaters = sync.Pool{New: func() any {
+	i := &Inflater{}
+	i.src.Reset(nil)
+	i.r = flate.NewReader(&i.src)
+	return i
+}}
+
+// GetInflater rents a pooled DEFLATE decompressor.
+func GetInflater() *Inflater { return inflaters.Get().(*Inflater) }
+
+// Release returns the decompressor to the pool.
+func (i *Inflater) Release() {
+	if i == nil {
+		return
+	}
+	i.src.Reset(nil) // never retain caller memory across rentals
+	inflaters.Put(i)
+}
+
+// Append appends the decompression of the DEFLATE stream p to dst and
+// returns the extended slice. With sufficient dst capacity it performs zero
+// allocations.
+func (i *Inflater) Append(dst, p []byte) ([]byte, error) {
+	i.src.Reset(p)
+	if err := i.r.(flate.Resetter).Reset(&i.src, nil); err != nil {
+		return dst, err
+	}
+	for {
+		if len(dst) == cap(dst) {
+			// Grow via append, then rewind: the spare capacity is what we
+			// want, not the zero byte.
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := i.r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package bufpool
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation-regression tests consult it: race instrumentation allocates on
+// its own, so allocs/op assertions only hold in non-race builds, while the
+// race builds still exercise the pools for reuse-after-release bugs.
+const RaceEnabled = false

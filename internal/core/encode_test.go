@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/oplog"
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// TestEncodeWorkersMatchInline runs the same churn through the worker
+// pipeline and the inline-encode baseline: both must land the identical
+// evidence chain at the server — the worker pool moves the compression off
+// the firmware goroutine, it must never change what ships.
+func TestEncodeWorkersMatchInline(t *testing.T) {
+	workerCfg := testConfig()
+	workerCfg.EncodeWorkers = 3
+	inlineCfg := testConfig()
+	inlineCfg.EncodeWorkers = -1
+
+	workers := newEnv(t, workerCfg)
+	inline := newEnv(t, inlineCfg)
+	wDone := churn(t, workers.r, 6, 4, 0)
+	iDone := churn(t, inline.r, 6, 4, 0)
+	if _, err := workers.r.OffloadNow(wDone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inline.r.OffloadNow(iDone); err != nil {
+		t.Fatal(err)
+	}
+	workers.r.Close()
+	inline.r.Close()
+
+	wh, ih := workers.store.Head(1), inline.store.Head(1)
+	if wh.NextSeq == 0 || wh.NextSeq != ih.NextSeq {
+		t.Fatalf("chain lengths diverge: workers %+v, inline %+v", wh, ih)
+	}
+	ws, is := workers.store.DeviceStats(1), inline.store.DeviceStats(1)
+	if ws.Versions != is.Versions || ws.Entries != is.Entries {
+		t.Fatalf("stores diverge: workers %+v, inline %+v", ws, is)
+	}
+	// The logged operations must be identical op for op. Timestamps (and
+	// therefore chain hashes) legitimately differ — the inline baseline
+	// charges the encode to the host path, shifting the clock — but the
+	// evidence content cannot depend on where compression ran.
+	we := workers.store.Entries(1, 0, wh.NextSeq)
+	ie := inline.store.Entries(1, 0, ih.NextSeq)
+	for i := range we {
+		if we[i].Seq != ie[i].Seq || we[i].Kind != ie[i].Kind ||
+			we[i].LPN != ie[i].LPN || we[i].DataHash != ie[i].DataHash {
+			t.Fatalf("entry %d diverges: workers %+v, inline %+v", i, we[i], ie[i])
+		}
+	}
+}
+
+// TestEncodeStageAccounted: the simulated-time model must charge the
+// encode stage (EncodeTime) and observe its occupancy (EncodeQueuePeak),
+// and in worker mode the host must not pay the encode while the sync
+// baseline must.
+func TestEncodeStageAccounted(t *testing.T) {
+	e := newEnv(t, testConfig())
+	done := churn(t, e.r, 6, 4, 0)
+	e.r.DrainOffload(done)
+	defer e.r.Close()
+	st := e.r.Stats()
+	if st.OffloadSegments == 0 {
+		t.Fatal("no segments shipped")
+	}
+	if st.EncodeTime == 0 {
+		t.Fatal("encode stage charged zero simulated time")
+	}
+	if st.EncodeQueuePeak == 0 {
+		t.Fatal("encode stage occupancy never observed")
+	}
+	if st.OffloadAckTime < st.EncodeTime {
+		// Every segment's ack waits out its own encode, so the cumulative
+		// ack span dominates the cumulative encode span.
+		t.Fatalf("ack time %v < encode time %v: encode not in the ack path", st.OffloadAckTime, st.EncodeTime)
+	}
+}
+
+// TestTierServiceTimeInAck: a device offloading to an s3sim-backed server
+// must see the tier's modeled Put latency inside its ack times — the
+// device-side ack path reflects the backend, not just the wire.
+func TestTierServiceTimeInAck(t *testing.T) {
+	s3 := remote.NewS3Sim(remote.DefaultS3Config())
+	store := remote.NewStore(s3)
+	srv := remote.NewServer(store, testPSK)
+	client, err := remote.Loopback(srv, testPSK, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	r := New(testConfig(), client)
+	done := churn(t, r, 6, 4, 0)
+	done = r.DrainOffload(done)
+	defer r.Close()
+
+	st := r.Stats()
+	if st.OffloadSegments == 0 {
+		t.Fatal("no segments shipped")
+	}
+	if st.OffloadTierTime == 0 {
+		t.Fatal("s3sim-backed offload recorded zero tier service time")
+	}
+	// The tier's 18ms first-byte floor dwarfs the µs-scale link model; the
+	// mean ack must be at least the per-segment tier floor.
+	meanAck := st.OffloadAckTime / simclock.Duration(st.OffloadSegments)
+	if meanAck < 18*simclock.Millisecond {
+		t.Fatalf("mean ack %v does not reflect the tier's 18ms Put floor", meanAck)
+	}
+
+	// A mem-backed device acks with zero tier time, and must stay faster.
+	local := newEnv(t, testConfig())
+	ldone := churn(t, local.r, 6, 4, 0)
+	local.r.DrainOffload(ldone)
+	defer local.r.Close()
+	ls := local.r.Stats()
+	if ls.OffloadTierTime != 0 {
+		t.Fatalf("mem tier reported service time %v", ls.OffloadTierTime)
+	}
+	if lm := ls.OffloadAckTime / simclock.Duration(ls.OffloadSegments); lm >= meanAck {
+		t.Fatalf("local mean ack %v not below cloud mean ack %v", lm, meanAck)
+	}
+}
+
+// TestEncodeStagedSteadyStateAllocs is the engine half of the
+// zero-allocation contract: encoding a sealed segment — marshal, codec
+// frame, page-buffer release — allocates nothing once the pools are warm.
+func TestEncodeStagedSteadyStateAllocs(t *testing.T) {
+	if bufpool.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc assertions run in the non-race job")
+	}
+	data := bytes.Repeat([]byte("retained page payload "), 100)
+	const nPages = 4
+	seg := &oplog.Segment{DeviceID: 1, FirstSeq: 0, LastSeq: 0,
+		Pages: make([]oplog.PageRecord, nPages)}
+	st := &stagedSegment{seg: seg}
+	var bufs [nPages]*bufpool.Buf
+	// reseal refills the staged segment the way buildSegment does — pooled
+	// page buffers, fresh views — without allocating anything itself.
+	reseal := func() {
+		st.pageBufs = bufs[:0]
+		for p := 0; p < nPages; p++ {
+			pb := bufpool.Get(len(data))
+			pb.B = append(pb.B, data...)
+			st.pageBufs = append(st.pageBufs, pb)
+			seg.Pages[p] = oplog.PageRecord{
+				LPN: uint64(p), Hash: oplog.HashData(pb.B), Data: pb.B,
+			}
+		}
+		st.logical = seg.MarshaledSize()
+	}
+	// Warm the pools once.
+	reseal()
+	encodeStaged(st)
+	st.blobBuf.Release()
+
+	if n := testing.AllocsPerRun(20, func() {
+		reseal()
+		encodeStaged(st)
+		if st.wire == 0 || st.blob == nil {
+			t.Fatal("encode produced no blob")
+		}
+		st.blobBuf.Release()
+	}); n != 0 {
+		t.Errorf("encode worker loop: %v allocs/op, want 0", n)
+	}
+}

@@ -3,56 +3,88 @@ package core
 import (
 	"errors"
 
+	"repro/internal/bufpool"
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
 	"repro/internal/remote"
 	"repro/internal/simclock"
 )
 
-// This file implements the asynchronous offload engine: the pipeline stage
+// This file implements the asynchronous offload engine: the pipeline
 // between the retention watermark check and the NVMe-oE transport. The
-// host path *stages* sealed segments into a bounded queue and returns; a
-// dedicated transfer goroutine ships them to the remote server. Pins are
-// released only when the durability ack is harvested back on the firmware
-// goroutine — the zero-data-loss invariant is unchanged, the transfer time
-// just no longer sits on the host path.
+// host path *seals* segments (reads their pages on the NAND background
+// lane) and stages them into a bounded queue; a pool of codec workers
+// compresses the sealed segments off the firmware goroutine; a dedicated
+// transfer goroutine ships the encoded blobs to the remote server in seal
+// order. Pins are released only when the durability ack is harvested back
+// on the firmware goroutine — the zero-data-loss invariant is unchanged,
+// and neither the compression nor the transfer time sits on the host path.
 //
 // Concurrency model: all FTL/RSSD state is still owned by the single
-// firmware goroutine. The transfer goroutine touches only the staged
-// segment (already sealed: pages read, entries copied) and the NVMe-oE
-// client. Results come back over a channel and are applied by the firmware
-// goroutine at poll points (afterOps, Pressure, DrainOffload).
+// firmware goroutine. A codec worker touches only its staged segment
+// (already sealed: pages read into pooled buffers, entries copied); the
+// transfer goroutine touches only encoded segments (in seal order, waiting
+// out each segment's encode) and the NVMe-oE client. Results come back
+// over a channel and are applied by the firmware goroutine at poll points
+// (afterOps, Pressure, DrainOffload).
 //
-// Simulated-time model: each staged segment's ack instant is fixed at
-// staging time from the link model (serialized transfers on one simulated
-// link: start = max(sealed, link free), ack = start + RTT + bytes/BW).
-// The firmware goroutine applies a completion only once simulated time
-// reaches that instant, blocking on the channel if the real transfer is
-// still in flight — so behaviour is deterministic in simulated time
-// regardless of goroutine scheduling, and the transfer overlaps host I/O
-// instead of adding to it.
+// Allocation model: the hot path rents everything from internal/bufpool.
+// Page reads land in pooled buffers released once the codec worker has
+// captured their bytes; the marshal buffer is released as soon as the blob
+// is framed; the blob buffer is released after the transfer. In steady
+// state a segment's trip through seal→encode→ship allocates only its
+// constant-size bookkeeping (the stagedSegment and its done channel).
+//
+// Simulated-time model: sealing fixes each segment's encode-stage schedule
+// deterministically — EncodeWorkers simulated codec lanes, each encoding
+// at EncodeMBps, earliest-free lane first — and the transfer goroutine
+// fixes the ack instant from the link model (serialized transfers on one
+// simulated link: start = max(encode done, link free), ack = start + RTT +
+// bytes/BW + the storage tier's modeled Put service time, which the server
+// reports in the ack). The firmware goroutine applies a completion only
+// once simulated time reaches that instant; when a completion's ack time
+// is not yet computable it blocks on the results channel only if the
+// segment's deterministic ack floor (encode done + RTT) has been reached —
+// so behaviour is deterministic in simulated time regardless of goroutine
+// scheduling, and encode and transfer overlap host I/O instead of adding
+// to it.
 
 // stagedSegment is one sealed segment travelling through the pipeline.
 type stagedSegment struct {
 	seg      *oplog.Segment
-	blob     []byte        // codec-framed wire encoding (what actually ships)
-	batch    []*retEntry   // retained pages carried by seg (pins still held)
-	toSeq    uint64        // log entries below this are covered by seg
-	sealedAt simclock.Time // flash background reads complete
-	ackAt    simclock.Time // simulated durability-ack arrival (link model)
-	wire     int           // compressed wire bytes: what the link model charges
-	logical  int           // uncompressed marshal size
-	err      error         // set by the transfer goroutine
+	blob     []byte         // codec-framed wire encoding (what actually ships)
+	blobBuf  *bufpool.Buf   // pooled backing of blob; released after transfer
+	pageBufs []*bufpool.Buf // pooled page data; released once encoded
+	batch    []*retEntry    // retained pages carried by seg (pins still held)
+	toSeq    uint64         // log entries below this are covered by seg
+	sealedAt simclock.Time  // flash background reads complete
+	// encDoneAt is when the simulated codec lane finishes this segment;
+	// ackFloor = encDoneAt + RTT is the earliest its ack could possibly
+	// arrive. Both are fixed at staging time on the firmware goroutine, so
+	// "could this ack be due?" is answerable without racing the pipeline.
+	encDoneAt simclock.Time
+	ackFloor  simclock.Time
+	ackAt     simclock.Time     // simulated durability-ack arrival (link + tier model)
+	wire      int               // compressed wire bytes: what the link model charges
+	logical   int               // uncompressed marshal size
+	svc       simclock.Duration // storage tier's modeled Put service time (from the ack)
+	err       error             // set by the transfer goroutine
+	encoded   chan struct{}     // closed by the codec worker; nil when encoded inline
 }
 
-// offloadEngine owns the staging queue and the transfer goroutine.
+// offloadEngine owns the staging queue, the codec worker pool, and the
+// transfer goroutine.
 type offloadEngine struct {
-	depth         int                 // staging-queue bound (backpressure point)
-	pending       chan *stagedSegment // staged, awaiting transfer
-	results       chan *stagedSegment // transfer resolved, FIFO with pending
-	inFlight      []*stagedSegment    // firmware-side FIFO mirror of the pipeline
+	depth   int                 // staging-queue bound (backpressure point)
+	workers int                 // codec workers (0 = inline encode at seal)
+	encodeq chan *stagedSegment // sealed, awaiting compression
+	xferq   chan *stagedSegment // seal-order lane the transfer goroutine ships
+	results chan *stagedSegment // transfer resolved, FIFO with xferq
+	ready   *stagedSegment      // harvested result whose ack instant lies ahead
+
+	inFlight      []*stagedSegment // firmware-side FIFO mirror of the pipeline
 	pagesInFlight int
-	linkFreeAt    simclock.Time
+	encFree       []simclock.Time // simulated next-free time per codec lane
 	// failure epoch: once one segment fails, everything behind it in the
 	// pipeline fails too (the chain has a gap at the server). Failed
 	// batches are collected in stage order and requeued together when the
@@ -61,31 +93,127 @@ type offloadEngine struct {
 	failedBatches [][]*retEntry
 }
 
-// newOffloadEngine starts the transfer goroutine for one client session.
-func newOffloadEngine(client *remote.Client, depth int) *offloadEngine {
+// newOffloadEngine starts the codec workers and the transfer goroutine for
+// one client session.
+func newOffloadEngine(client *remote.Client, depth, workers int, rtt simclock.Duration, mbps float64) *offloadEngine {
 	if depth <= 0 {
 		depth = 8
 	}
 	e := &offloadEngine{
 		depth:   depth,
-		pending: make(chan *stagedSegment, depth),
+		workers: workers,
+		xferq:   make(chan *stagedSegment, depth+2),
 		// results is sized so the transfer goroutine never blocks sending:
 		// at most depth segments queue plus one in its hands.
 		results: make(chan *stagedSegment, depth+2),
 	}
+	if workers > 0 {
+		e.encodeq = make(chan *stagedSegment, depth+2)
+		e.encFree = make([]simclock.Time, workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for st := range e.encodeq {
+					encodeStaged(st)
+					close(st.encoded)
+				}
+			}()
+		}
+	}
 	go func() {
-		for st := range e.pending {
-			st.err = client.PushSegmentBlob(st.blob, st.seg.LastSeq)
+		var linkFree simclock.Time
+		for st := range e.xferq {
+			if st.encoded != nil {
+				<-st.encoded // codec worker done; blob and wire size final
+			}
+			start := simclock.Max(st.encDoneAt, linkFree)
+			st.svc, st.err = client.PushSegmentBlobTimed(st.blob, st.seg.LastSeq)
+			linkFree = start.Add(xferDur(st.wire, rtt, mbps))
+			st.ackAt = linkFree.Add(st.svc)
+			// The wire bytes have left the device; the pooled blob goes back.
+			st.blobBuf.Release()
+			st.blobBuf, st.blob = nil, nil
 			e.results <- st
 		}
 	}()
 	return e
 }
 
+// harvest takes the oldest resolved completion, blocking until the real
+// pipeline produces it. The ready slot holds a completion harvested early
+// whose ack instant had not been reached yet.
+func (e *offloadEngine) harvest() *stagedSegment {
+	if st := e.ready; st != nil {
+		e.ready = nil
+		return st
+	}
+	return <-e.results
+}
+
+// encodeStaged compresses one sealed segment through pooled buffers: the
+// marshal lands in a rented buffer sized exactly by MarshaledSize, the
+// codec frame in a rented buffer sized by BlobOverhead + marshal, and the
+// page buffers are released the moment their bytes are captured. This is
+// the encode hot loop the datapath benchmark tracks: steady-state it
+// allocates nothing.
+func encodeStaged(st *stagedSegment) {
+	m := bufpool.Get(st.logical)
+	raw := st.seg.AppendMarshal(m.B)
+	bb := bufpool.Get(nvmeoe.BlobOverhead + len(raw))
+	st.blob = nvmeoe.AppendSegmentBlob(bb.B, raw)
+	st.blobBuf = bb
+	st.wire = len(st.blob)
+	m.B = raw
+	m.Release()
+	// The blob owns the bytes now; drop the page views before releasing
+	// their pooled backing so nothing dangles into reused memory.
+	for i := range st.seg.Pages {
+		st.seg.Pages[i].Data = nil
+	}
+	for _, pb := range st.pageBufs {
+		pb.Release()
+	}
+	st.pageBufs = nil
+}
+
+// xferDur models one segment's NVMe-oE transfer on the offload link.
+func xferDur(bytes int, rtt simclock.Duration, mbps float64) simclock.Duration {
+	return rtt + simclock.Duration(float64(bytes)/(mbps*1e6)*float64(simclock.Second))
+}
+
+// linkRTT and linkMBps resolve the configured link model with its defaults.
+func (r *RSSD) linkRTT() simclock.Duration {
+	if r.cfg.OffloadLinkRTT > 0 {
+		return r.cfg.OffloadLinkRTT
+	}
+	return 30 * simclock.Microsecond
+}
+
+func (r *RSSD) linkMBps() float64 {
+	if r.cfg.OffloadLinkMBps > 0 {
+		return r.cfg.OffloadLinkMBps
+	}
+	return 1200
+}
+
+// xferTime models one segment's NVMe-oE transfer on the offload link.
+func (r *RSSD) xferTime(bytes int) simclock.Duration {
+	return xferDur(bytes, r.linkRTT(), r.linkMBps())
+}
+
+// encodeDur models compressing n marshal bytes on one codec lane.
+func (r *RSSD) encodeDur(n int) simclock.Duration {
+	return simclock.Duration(float64(n) / (r.cfg.EncodeMBps * 1e6) * float64(simclock.Second))
+}
+
 // ensureEngine lazily starts the engine for the attached client.
 func (r *RSSD) ensureEngine() *offloadEngine {
 	if r.engine == nil {
-		r.engine = newOffloadEngine(r.client, r.cfg.OffloadQueueDepth)
+		workers := r.cfg.EncodeWorkers
+		if workers < 0 {
+			workers = 0 // inline encode at seal (the measured baseline)
+		}
+		r.engine = newOffloadEngine(r.client, r.cfg.OffloadQueueDepth, workers,
+			r.linkRTT(), r.linkMBps())
 	}
 	return r.engine
 }
@@ -99,33 +227,26 @@ func (r *RSSD) stopEngine() {
 		return
 	}
 	for len(e.inFlight) > 0 {
-		r.applyResult(<-e.results)
+		r.applyResult(e.harvest())
 	}
-	close(e.pending)
+	if e.encodeq != nil {
+		close(e.encodeq)
+	}
+	close(e.xferq)
 	r.engine = nil
 }
 
-// Close releases the engine's transfer goroutine. The device remains
+// Close releases the engine's worker goroutines. The device remains
 // usable (offload falls back to lazy engine start on the next watermark
 // crossing); call it when retiring a device instance.
 func (r *RSSD) Close() { r.stopEngine() }
 
-// xferTime models one segment's NVMe-oE transfer on the offload link.
-func (r *RSSD) xferTime(bytes int) simclock.Duration {
-	bw := r.cfg.OffloadLinkMBps
-	if bw <= 0 {
-		bw = 1200
-	}
-	rtt := r.cfg.OffloadLinkRTT
-	if rtt <= 0 {
-		rtt = 30 * simclock.Microsecond
-	}
-	return rtt + simclock.Duration(float64(bytes)/(bw*1e6)*float64(simclock.Second))
-}
-
 // buildSegment seals one segment: the next run of unstaged log entries
-// plus the given retained pages, read on the NAND background lane. It
-// advances stagedUpTo. On error the caller must requeue batch.
+// plus the given retained pages, read on the NAND background lane into
+// pooled buffers the pipeline releases once their bytes are encoded. It
+// advances stagedUpTo and fixes the segment's logical (marshal) size so
+// the encode stage can be scheduled before the real encode runs. On error
+// the caller must requeue batch.
 func (r *RSSD) buildSegment(batch []*retEntry, at simclock.Time) (*stagedSegment, error) {
 	to := r.log.NextSeq()
 	if to > r.stagedUpTo+maxEntriesPerSegment {
@@ -145,11 +266,16 @@ func (r *RSSD) buildSegment(batch []*retEntry, at simclock.Time) (*stagedSegment
 	st := &stagedSegment{seg: seg, batch: batch, toSeq: to, sealedAt: at}
 	for _, re := range batch {
 		// Background lane: the offload engine's flash reads fill host idle
-		// gaps (read-suspend priority) rather than delaying host I/O.
+		// gaps (read-suspend priority) rather than delaying host I/O. The
+		// returned page is a pooled buffer this segment now owns.
 		data, _, done, err := r.f.ReadPhysicalBackground(re.ppn, at)
 		if err != nil {
+			for _, pb := range st.pageBufs {
+				pb.Release()
+			}
 			return nil, err
 		}
+		st.pageBufs = append(st.pageBufs, data)
 		r.stats.OffloadLatency += done.Sub(at)
 		if done > st.sealedAt {
 			st.sealedAt = done
@@ -159,22 +285,17 @@ func (r *RSSD) buildSegment(batch []*retEntry, at simclock.Time) (*stagedSegment
 			WriteSeq: re.writeSeq,
 			StaleSeq: re.staleSeq,
 			Cause:    uint8(re.cause),
-			Hash:     oplog.HashData(data),
-			Data:     data,
+			Hash:     oplog.HashData(data.B),
+			Data:     data.B,
 		})
 	}
-	// Seal = encode: the codec frame built here is the exact byte string
-	// the transfer goroutine ships and the server persists, so the link
-	// model charges compressed (actual wire) bytes, not the logical size.
-	raw := seg.Marshal()
-	st.blob = nvmeoe.EncodeSegmentBlob(raw)
-	st.logical = len(raw)
-	st.wire = len(st.blob)
+	st.logical = seg.MarshaledSize()
 	r.stagedUpTo = to
 	return st, nil
 }
 
-// stage seals batch into a segment and hands it to the transfer goroutine.
+// stage seals batch into a segment, schedules its encode on the simulated
+// codec lanes, and hands it to the worker pool and the transfer lane.
 // When the staging queue is full the host stalls: completions are
 // harvested (blocking) until a slot frees, and the stall is charged to the
 // returned host time. The batch must already be popped from the retention
@@ -186,14 +307,34 @@ func (r *RSSD) stage(batch []*retEntry, at simclock.Time) (simclock.Time, error)
 		r.requeue(batch)
 		return at, err
 	}
-	start := simclock.Max(st.sealedAt, e.linkFreeAt)
-	st.ackAt = start.Add(r.xferTime(st.wire))
-	e.linkFreeAt = st.ackAt
+	dur := r.encodeDur(st.logical)
+	r.stats.EncodeTime += dur
+	if e.workers > 0 {
+		// Earliest-free simulated codec lane; the real workers race ahead
+		// or lag behind, but the schedule is fixed here, deterministically.
+		lane := 0
+		for i := 1; i < len(e.encFree); i++ {
+			if e.encFree[i] < e.encFree[lane] {
+				lane = i
+			}
+		}
+		start := simclock.Max(st.sealedAt, e.encFree[lane])
+		st.encDoneAt = start.Add(dur)
+		e.encFree[lane] = st.encDoneAt
+		st.encoded = make(chan struct{})
+	} else {
+		// Inline baseline: the firmware goroutine compresses at seal time,
+		// so the host path pays the encode before it can continue.
+		encodeStaged(st)
+		st.encDoneAt = simclock.Max(st.sealedAt, at).Add(dur)
+		at = at.Add(dur)
+	}
+	st.ackFloor = st.encDoneAt.Add(r.linkRTT())
 	// Backpressure: the bound is the firmware-side in-flight count, not
 	// the channel's instantaneous occupancy, so stalls depend only on
 	// simulated time, never on goroutine scheduling.
 	for len(e.inFlight) >= e.depth {
-		res := <-e.results
+		res := e.harvest()
 		if res.ackAt > at {
 			r.stats.OffloadStalls++
 			r.stats.OffloadStallTime += res.ackAt.Sub(at)
@@ -201,26 +342,51 @@ func (r *RSSD) stage(batch []*retEntry, at simclock.Time) (simclock.Time, error)
 		}
 		r.applyResult(res)
 	}
-	e.pending <- st // never blocks: queue holds at most depth-1 entries here
+	if e.workers > 0 {
+		e.encodeq <- st // never blocks: queue is sized past the depth bound
+	}
+	e.xferq <- st // never blocks: queue holds at most depth-1 entries here
 	e.inFlight = append(e.inFlight, st)
 	e.pagesInFlight += len(st.batch)
 	if n := len(e.inFlight); n > r.stats.OffloadQueuePeak {
 		r.stats.OffloadQueuePeak = n
 	}
+	// Encode-stage occupancy: segments still on a simulated codec lane
+	// when this one was sealed. Peak > 1 is the overlap the worker pool
+	// buys; a persistently full encode stage means EncodeWorkers (or
+	// EncodeMBps) is the pipeline's bottleneck.
+	encQ := 0
+	for _, s := range e.inFlight {
+		if s.encDoneAt > st.sealedAt {
+			encQ++
+		}
+	}
+	if encQ > r.stats.EncodeQueuePeak {
+		r.stats.EncodeQueuePeak = encQ
+	}
 	return at, nil
 }
 
 // pollOffload applies, in pipeline order, every completion whose simulated
-// ack instant has been reached. It blocks on the results channel when the
-// real transfer lags the simulated clock, which keeps the simulation
-// deterministic.
+// ack instant has been reached. The deterministic ack floor (encode done +
+// RTT, fixed at staging) gates the blocking read: the firmware goroutine
+// only waits on the results channel when the head segment's ack could
+// actually be due, which keeps the simulation deterministic while the real
+// encode and transfer run concurrently.
 func (r *RSSD) pollOffload(at simclock.Time) {
 	e := r.engine
 	if e == nil {
 		return
 	}
-	for len(e.inFlight) > 0 && e.inFlight[0].ackAt <= at {
-		r.applyResult(<-e.results)
+	for len(e.inFlight) > 0 && e.inFlight[0].ackFloor <= at {
+		if e.ready == nil {
+			e.ready = <-e.results
+		}
+		if e.ready.ackAt > at {
+			return // harvested early; applies at a later poll
+		}
+		r.applyResult(e.ready)
+		e.ready = nil
 	}
 }
 
@@ -232,7 +398,7 @@ func (r *RSSD) drainOffload(at simclock.Time) simclock.Time {
 		return at
 	}
 	for len(e.inFlight) > 0 {
-		res := <-e.results
+		res := e.harvest()
 		at = simclock.Max(at, res.ackAt)
 		r.applyResult(res)
 	}
@@ -302,6 +468,7 @@ func (r *RSSD) releaseSegment(st *stagedSegment) {
 	ackSpan := st.ackAt.Sub(st.sealedAt)
 	r.stats.OffloadLatency += ackSpan
 	r.stats.OffloadAckTime += ackSpan
+	r.stats.OffloadTierTime += st.svc
 	// The durable frontier advances only over entries this segment itself
 	// carried. A pages-only segment acked behind a rejected entry-bearing
 	// one (the server skips the chain check when Entries is empty) must

@@ -175,7 +175,10 @@ func (r *RSSD) offloadToSync(target int, at simclock.Time) (simclock.Time, error
 
 // shipSync builds and pushes one segment inline, waiting for the
 // durability ack before releasing pins (zero-data-loss ordering) and
-// charging seal plus transfer time to the returned host time.
+// charging seal plus encode plus transfer time — and the storage tier's
+// modeled Put service time reported in the ack — to the returned host
+// time. This is the measured baseline: everything the asynchronous
+// pipeline overlaps rides the host path here.
 func (r *RSSD) shipSync(batch []*retEntry, at simclock.Time) (simclock.Time, error) {
 	st, err := r.buildSegment(batch, at)
 	if err != nil {
@@ -183,7 +186,17 @@ func (r *RSSD) shipSync(batch []*retEntry, at simclock.Time) (simclock.Time, err
 		r.stagedUpTo = r.offloadedUpTo
 		return at, fmt.Errorf("core: seal segment: %w", err)
 	}
-	if err := r.client.PushSegmentBlob(st.blob, st.seg.LastSeq); err != nil {
+	// The encode cannot start before the background page reads complete
+	// (sealedAt) nor before the firmware goroutine is free (at) — the
+	// same formula the asynchronous engine's codec lanes use.
+	dur := r.encodeDur(st.logical)
+	r.stats.EncodeTime += dur
+	encodeStaged(st)
+	encDone := simclock.Max(st.sealedAt, at).Add(dur)
+	svc, err := r.client.PushSegmentBlobTimed(st.blob, st.seg.LastSeq)
+	st.blobBuf.Release()
+	st.blobBuf, st.blob = nil, nil
+	if err != nil {
 		// The batch was not acked: re-pin nothing (we only release after
 		// ack), but put the entries back at the queue head so a retry
 		// ships the same data. A transport-level failure additionally
@@ -193,7 +206,8 @@ func (r *RSSD) shipSync(batch []*retEntry, at simclock.Time) (simclock.Time, err
 		r.noteRemoteErr(err)
 		return at, err
 	}
-	st.ackAt = simclock.Max(st.sealedAt, at).Add(r.xferTime(st.wire))
+	st.svc = svc
+	st.ackAt = encDone.Add(r.xferTime(st.wire)).Add(svc)
 	r.releaseSegment(st)
 	return st.ackAt, nil
 }

@@ -71,6 +71,18 @@ type Config struct {
 	// Defaults: 30µs, 1200 MB/s.
 	OffloadLinkRTT  simclock.Duration
 	OffloadLinkMBps float64
+	// EncodeWorkers sizes the codec worker pool that compresses sealed
+	// segments off the firmware goroutine: seal hands raw segments to the
+	// workers, and the transfer goroutine ships encoded blobs in seal
+	// order. 0 selects the default (2). A negative value selects inline
+	// encoding at seal time on the firmware goroutine — the pre-pipeline
+	// baseline the datapath experiment measures the workers against.
+	EncodeWorkers int
+	// EncodeMBps models one codec worker's DEFLATE throughput in the
+	// simulated-time model (real encoding runs as fast as the CPU allows;
+	// this is what the honest accounting charges). Default 400 MB/s,
+	// BestSpeed-class.
+	EncodeMBps float64
 	// Dial, when set, lets the device re-establish remote sessions itself:
 	// the offload engine redials a dead session with exponential backoff
 	// and resumes from the server's FetchHead, and the restorer uses it to
@@ -134,7 +146,20 @@ type Stats struct {
 	OffloadLatency simclock.Duration
 	// OffloadAckTime is the cumulative seal-to-ack span over acked
 	// segments; OffloadAckTime / OffloadSegments is the mean ack latency.
+	// It includes the encode stage, the link transfer, and the storage
+	// tier's modeled Put service time reported back in each segment ack —
+	// device-side ack latency reflects the backend, not just the wire.
 	OffloadAckTime simclock.Duration
+	// OffloadTierTime is the share of OffloadAckTime spent in the storage
+	// tier's modeled Put service (zero on free local tiers).
+	OffloadTierTime simclock.Duration
+	// EncodeTime is the total simulated time the codec lanes spent
+	// compressing sealed segments. With encode workers it overlaps host
+	// I/O and the link; in the inline/sync baselines it rides the host
+	// path. EncodeQueuePeak is the deepest the encode stage ever got —
+	// segments still on a simulated codec lane when a new seal arrived.
+	EncodeTime      simclock.Duration
+	EncodeQueuePeak int
 	// OffloadStalls / OffloadStallTime count host stalls from staging-
 	// queue backpressure (the queue was full, the host waited for an ack).
 	OffloadStalls    uint64
@@ -238,6 +263,12 @@ func (cfg Config) normalize() Config {
 	}
 	if cfg.OffloadQueueDepth <= 0 {
 		cfg.OffloadQueueDepth = 8
+	}
+	if cfg.EncodeWorkers == 0 {
+		cfg.EncodeWorkers = 2
+	}
+	if cfg.EncodeMBps <= 0 {
+		cfg.EncodeMBps = 400
 	}
 	if cfg.RedialBackoff <= 0 {
 		cfg.RedialBackoff = simclock.Millisecond

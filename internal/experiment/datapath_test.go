@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/nvmeoe"
+)
+
+// TestDatapathExperiment runs the CI-sized datapath benchmark end to end:
+// both pipeline variants must ship segments, and the codec hot loops must
+// be allocation-free in steady state — the acceptance bar for the pooled
+// datapath.
+func TestDatapathExperiment(t *testing.T) {
+	res, err := Datapath(SmallScale(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 2 {
+		t.Fatalf("want 2 variants, got %d", len(res.Variants))
+	}
+	for _, v := range res.Variants {
+		if v.Segments == 0 || v.SegsPerSec <= 0 {
+			t.Fatalf("variant %q shipped nothing: %+v", v.Variant, v)
+		}
+		if v.WireMB <= 0 {
+			t.Fatalf("variant %q recorded no wire bytes", v.Variant)
+		}
+	}
+	if w := res.Variants[0]; w.Variant != "workers" || w.EncodeMs == 0 {
+		t.Fatalf("worker variant missing encode accounting: %+v", w)
+	}
+	byLoop := map[string]DatapathAllocRow{}
+	for _, a := range res.Allocs {
+		byLoop[a.Loop] = a
+	}
+	for _, name := range []string{"encode", "decode", "ingest"} {
+		if _, ok := byLoop[name]; !ok {
+			t.Fatalf("missing alloc row %q", name)
+		}
+	}
+	if bufpool.RaceEnabled {
+		t.Log("race build: skipping zero-alloc assertions (instrumentation allocates)")
+		return
+	}
+	if a := byLoop["encode"]; a.AllocsPerOp != 0 {
+		t.Errorf("encode hot loop: %v allocs/op, want 0", a.AllocsPerOp)
+	}
+	// The decode loop's only tolerated residue is compress/flate's
+	// per-block dynamic-Huffman table rebuild; our pooling must not add
+	// to it. A regression in the pooled reader/buffer path would blow
+	// well past this bound (it used to be hundreds of allocs).
+	if a := byLoop["decode"]; a.AllocsPerOp > 20 {
+		t.Errorf("decode hot loop: %v allocs/op, want <= 20 (flate table residue only)", a.AllocsPerOp)
+	}
+}
+
+func BenchmarkDatapathEncodeLoop(b *testing.B) {
+	s := SmallScale()
+	seg := datapathSegment(s, 16)
+	logical := seg.MarshaledSize()
+	mbuf := bufpool.Get(logical)
+	defer mbuf.Release()
+	bbuf := bufpool.Get(logical + 16)
+	defer bbuf.Release()
+	b.ReportAllocs()
+	b.SetBytes(int64(logical))
+	for i := 0; i < b.N; i++ {
+		raw := seg.AppendMarshal(mbuf.B[:0])
+		bbuf.B = nvmeoe.AppendSegmentBlob(bbuf.B[:0], raw)
+	}
+}

@@ -62,9 +62,12 @@ type FleetDeviceRow struct {
 	P99LatUs       float64
 	ReplaySegments uint64  // segments shipped while host I/O was running
 	Segments       uint64  // total segments shipped (incl. final flush)
-	AckLatUs       float64 // mean seal-to-ack latency
+	AckLatUs       float64 // mean seal-to-ack latency (incl. tier service time)
 	QueuePeak      int     // deepest staging-pipeline occupancy
 	Stalls         uint64  // host stalls from staging backpressure
+	WireBytes      uint64  // compressed bytes that crossed the offload link
+	EncodeMs       float64 // simulated codec-stage time (overlapped unless inline)
+	EncodeQPeak    int     // deepest encode-stage occupancy
 	Detected       bool
 	OpsToAlert     uint64
 	FalseAlerts    int
@@ -100,6 +103,19 @@ type fleetPass struct {
 	records  int
 	pageOps  int
 	segments uint64
+}
+
+// fleetOpts tunes one fleet pass.
+type fleetOpts struct {
+	syncOffload   bool
+	withAttacks   bool
+	encodeWorkers int // 0 = engine default, negative = inline-encode baseline
+	// saturate submits each replay record the instant the previous one
+	// completes instead of at its trace timestamp: the device-limited
+	// pace the datapath benchmark measures throughput at. Trace-paced
+	// runs (the default) measure latency under realistic arrival gaps.
+	saturate bool
+	tune     remote.BackendProfile
 }
 
 // Fleet runs the fleet scenario and its synchronous baseline.
@@ -146,14 +162,17 @@ func Fleet(s Scale, devices int) (*FleetResult, error) {
 
 // runFleet executes one pass over the default in-memory tier.
 func runFleet(s Scale, devices int, syncOffload, withAttacks bool) (*fleetPass, error) {
-	return runFleetOn(s, devices, syncOffload, withAttacks, remote.NewStore(remote.NewMemStore()))
+	opts := fleetOpts{syncOffload: syncOffload, withAttacks: withAttacks, tune: remote.Profile("mem")}
+	return runFleetOn(s, devices, opts, remote.NewStore(remote.NewMemStore()))
 }
 
 // runFleetOn executes one pass against the given store (any storage tier):
 // every device runs concurrently against one shared server, replaying its
-// benign trace and (when withAttacks) its assigned ransomware variant. The
-// retention experiment reuses the same pass per backend tier.
-func runFleetOn(s Scale, devices int, syncOffload, withAttacks bool, store *remote.Store) (*fleetPass, error) {
+// benign trace and (when opts.withAttacks) its assigned ransomware
+// variant. The retention experiment reuses the same pass per backend tier
+// with that tier's watermark/queue profile; the datapath experiment reuses
+// it to compare encode-worker against inline-encode devices.
+func runFleetOn(s Scale, devices int, opts fleetOpts, store *remote.Store) (*fleetPass, error) {
 	if devices <= 0 {
 		devices = 8
 	}
@@ -168,14 +187,14 @@ func runFleetOn(s Scale, devices int, syncOffload, withAttacks bool, store *remo
 	attackIdx := 0
 	for i := 0; i < devices; i++ {
 		var atk attack.Attack
-		if withAttacks && i%2 == 1 {
+		if opts.withAttacks && i%2 == 1 {
 			atk = makeAttack(fleetAttacks[attackIdx%len(fleetAttacks)])
 			attackIdx++
 		}
 		wg.Add(1)
 		go func(i int, atk attack.Attack) {
 			defer wg.Done()
-			rows[i], errs[i] = runFleetDevice(s, srv, engine, uint64(i+1), i, atk, syncOffload)
+			rows[i], errs[i] = runFleetDevice(s, srv, engine, uint64(i+1), i, atk, opts)
 		}(i, atk)
 	}
 	wg.Wait()
@@ -196,7 +215,7 @@ func runFleetOn(s Scale, devices int, syncOffload, withAttacks bool, store *remo
 
 // runFleetDevice drives one device of the fleet: benign replay (measured),
 // then the assigned attack (streamed to detection), then a final flush.
-func runFleetDevice(s Scale, srv *remote.Server, engine *detect.Engine, deviceID uint64, idx int, atk attack.Attack, syncOffload bool) (FleetDeviceRow, error) {
+func runFleetDevice(s Scale, srv *remote.Server, engine *detect.Engine, deviceID uint64, idx int, atk attack.Attack, opts fleetOpts) (FleetDeviceRow, error) {
 	row := FleetDeviceRow{Device: deviceID}
 	client, err := remote.Loopback(srv, PSK, deviceID)
 	if err != nil {
@@ -207,12 +226,17 @@ func runFleetDevice(s Scale, srv *remote.Server, engine *detect.Engine, deviceID
 	cfg := core.DefaultConfig()
 	cfg.FTL = s.ftlConfig()
 	cfg.DeviceID = deviceID
-	cfg.SyncOffload = syncOffload
-	// Fleet devices drain eagerly: a device backing a shared server keeps
-	// its retention backlog small, which also keeps the offload pipeline —
-	// the thing this experiment measures — continuously busy.
-	cfg.OffloadHighWater = 0.50
-	cfg.OffloadLowWater = 0.25
+	cfg.SyncOffload = opts.syncOffload
+	cfg.EncodeWorkers = opts.encodeWorkers
+	// Fleet devices drain eagerly (the tier profile's watermarks sit well
+	// below the solo-device defaults): a device backing a shared server
+	// keeps its retention backlog small, which also keeps the offload
+	// pipeline — the thing this experiment measures — continuously busy.
+	// High-latency tiers get a deeper staging queue from their profile so
+	// the long acks stay hidden behind host I/O.
+	cfg.OffloadHighWater = opts.tune.OffloadHighWater
+	cfg.OffloadLowWater = opts.tune.OffloadLowWater
+	cfg.OffloadQueueDepth = opts.tune.OffloadQueueDepth
 	dev := core.New(cfg, client)
 	defer dev.Close()
 	fs := host.NewFlatFS(dev, simclock.NewClock())
@@ -239,11 +263,15 @@ func runFleetDevice(s Scale, srv *remote.Server, engine *detect.Engine, deviceID
 		if len(ops) == 0 {
 			continue
 		}
-		done, err := submitRecord(dev, ops, rec.At)
+		submitAt := rec.At
+		if opts.saturate {
+			submitAt = end // back-to-back: the device, not the trace, sets the pace
+		}
+		done, err := submitRecord(dev, ops, submitAt)
 		if err != nil {
 			return row, err
 		}
-		h.Observe(done.Sub(rec.At))
+		h.Observe(done.Sub(submitAt))
 		end = simclock.Max(end, done)
 		row.Records++
 	}
@@ -286,6 +314,9 @@ func runFleetDevice(s Scale, srv *remote.Server, engine *detect.Engine, deviceID
 	row.Segments = st.OffloadSegments
 	row.QueuePeak = st.OffloadQueuePeak
 	row.Stalls = st.OffloadStalls
+	row.WireBytes = st.OffloadBytesWire
+	row.EncodeMs = float64(st.EncodeTime) / float64(simclock.Millisecond)
+	row.EncodeQPeak = st.EncodeQueuePeak
 	if st.OffloadSegments > 0 {
 		row.AckLatUs = float64(st.OffloadAckTime) / float64(st.OffloadSegments) / 1000
 	}

@@ -36,9 +36,18 @@ type RetentionTierRow struct {
 	BytesStored  int64   // what the tier actually holds (codec-compressed)
 	WireRatio    float64 // logical / stored
 
-	MeanAckUs  float64 // device-side seal-to-ack latency (NVMe-oE link model)
-	TierPutMs  float64 // tier-modeled mean Put service time per segment (0 on free local tiers)
-	TotalAckMs float64 // MeanAckUs + TierPutMs: what durability actually costs on this tier
+	// MeanAckUs is device-side seal-to-ack latency. Since the server began
+	// threading the tier's modeled Put service time into segment acks, it
+	// reflects the full durability cost on this tier — encode stage, link
+	// transfer, AND backend service — as the device itself observes it.
+	MeanAckUs  float64
+	TierPutMs  float64 // tier-modeled mean Put service per segment (component of MeanAckUs)
+	TotalAckMs float64 // MeanAckUs in ms: what durability costs on this tier
+	// QueueDepth and the watermarks record the tier profile the fleet ran
+	// with: high-latency tiers stage deeper and drain earlier.
+	QueueDepth int
+	HighWater  float64
+	LowWater   float64
 
 	// StoredGiBPerDay is the fleet's at-rest production rate; BudgetDays
 	// how long the nominal 1 TiB local-server budget lasts at that rate.
@@ -98,7 +107,11 @@ func retentionTier(s Scale, devices int, backend string) (RetentionTierRow, erro
 		return row, err
 	}
 	store := remote.NewStore(blobs)
-	pass, err := runFleetOn(s, devices, false, true, store)
+	tune := remote.Profile(backend)
+	row.QueueDepth = tune.OffloadQueueDepth
+	row.HighWater = tune.OffloadHighWater
+	row.LowWater = tune.OffloadLowWater
+	pass, err := runFleetOn(s, devices, fleetOpts{withAttacks: true, tune: tune}, store)
 	if err != nil {
 		return row, err
 	}
@@ -141,7 +154,10 @@ func retentionTier(s Scale, devices int, backend string) (RetentionTierRow, erro
 	}
 	row.RequestUSD = ts.RequestUSD
 	row.MultipartParts = ts.Parts
-	row.TotalAckMs = row.MeanAckUs/1000 + row.TierPutMs
+	// The tier's Put service now rides inside each segment ack, so the
+	// device-observed MeanAckUs already contains TierPutMs — no second
+	// addition, or the tier would be double-charged.
+	row.TotalAckMs = row.MeanAckUs / 1000
 	s3, elastic := blobs.(*remote.S3Sim)
 	if elastic {
 		// Elastic capacity: the budget never fills; cost is the limit.
@@ -172,13 +188,13 @@ func retentionTier(s Scale, devices int, backend string) (RetentionTierRow, erro
 // RenderRetention renders the tier comparison table.
 func RenderRetention(rows []RetentionTierRow) string {
 	tb := metrics.NewTable("backend", "segs", "logical MiB", "stored MiB", "wire ratio",
-		"ack µs", "tier put ms", "budget days", "req $", "$/month", "list lag", "caught", "false")
+		"ack µs", "tier put ms", "q depth", "budget days", "req $", "$/month", "list lag", "caught", "false")
 	for _, r := range rows {
 		// Dollar columns pre-formatted: modeled costs live in the fourth
 		// decimal, which the table's default %.2f would round to zero.
 		tb.AddRow(r.Backend, r.Segments,
 			float64(r.BytesLogical)/float64(1<<20), float64(r.BytesStored)/float64(1<<20),
-			r.WireRatio, r.MeanAckUs, r.TierPutMs, r.BudgetDays,
+			r.WireRatio, r.MeanAckUs, r.TierPutMs, r.QueueDepth, r.BudgetDays,
 			fmt.Sprintf("%.4f", r.RequestUSD), fmt.Sprintf("%.4f", r.StorageUSDMonth),
 			r.PendingListKeys,
 			fmt.Sprintf("%d/%d", r.Caught, r.Attacked), r.FalseAlerts)
@@ -187,9 +203,11 @@ func RenderRetention(rows []RetentionTierRow) string {
 	for _, r := range rows {
 		if r.Backend == "s3sim" {
 			out += fmt.Sprintf(
-				"s3sim: %d segments (%d multipart parts), durability %.2f ms/segment (link %.1f µs + tier %.2f ms)\n"+
+				"s3sim: %d segments (%d multipart parts), durability %.2f ms/segment as the device observes it\n"+
+					"       (tier Put %.2f ms rides inside the ack; staged %d deep at %.0f%%/%.0f%% watermarks)\n"+
 					"       cost: $%.6f in requests + $%.6f/month at rest; %d keys were list-lagged at run end (settled reload OK: %v)\n",
-				r.Segments, r.MultipartParts, r.TotalAckMs, r.MeanAckUs, r.TierPutMs,
+				r.Segments, r.MultipartParts, r.TotalAckMs,
+				r.TierPutMs, r.QueueDepth, r.HighWater*100, r.LowWater*100,
 				r.RequestUSD, r.StorageUSDMonth, r.PendingListKeys, r.ReloadOK)
 		}
 	}

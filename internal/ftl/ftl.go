@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/nand"
 	"repro/internal/simclock"
 )
@@ -490,8 +491,10 @@ func (f *FTL) ReadPhysical(ppn uint64, at simclock.Time) ([]byte, nand.OOB, simc
 
 // ReadPhysicalBackground reads a physical page on the NAND background
 // lane: the hardware-isolated offload engine's reads, which yield the chip
-// to host traffic (see nand.Device.ReadBackground).
-func (f *FTL) ReadPhysicalBackground(ppn uint64, at simclock.Time) ([]byte, nand.OOB, simclock.Time, error) {
+// to host traffic (see nand.Device.ReadBackground). The returned data is a
+// pooled buffer the caller must Release once its bytes are captured — the
+// zero-copy read-lane contract that keeps background reads allocation-free.
+func (f *FTL) ReadPhysicalBackground(ppn uint64, at simclock.Time) (*bufpool.Buf, nand.OOB, simclock.Time, error) {
 	return f.dev.ReadBackground(ppn, at)
 }
 

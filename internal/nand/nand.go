@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/simclock"
 )
 
@@ -184,7 +185,7 @@ type Device struct {
 	cfg    Config
 
 	mu       sync.Mutex
-	pages    [][]byte // nil = erased/unwritten
+	pages    []*bufpool.Buf // nil = erased/unwritten; pooled page copies
 	oobs     []OOB
 	blocks   []blockState
 	chipBusy []simclock.Time // host/GC datapath next-free per chip
@@ -205,7 +206,7 @@ func New(cfg Config) *Device {
 		geo:      g,
 		timing:   cfg.Timing,
 		cfg:      cfg,
-		pages:    make([][]byte, g.TotalPages()),
+		pages:    make([]*bufpool.Buf, g.TotalPages()),
 		oobs:     make([]OOB, g.TotalPages()),
 		blocks:   make([]blockState, g.TotalBlocks()),
 		chipBusy: make([]simclock.Time, g.Chips()),
@@ -252,10 +253,23 @@ func (d *Device) occupyBG(block uint64, at simclock.Time, dur simclock.Duration)
 // engine's page reads. The engine has strictly lower priority than the
 // host datapath — its reads queue behind host operations and behind each
 // other, but never delay subsequent host operations on the chip.
-func (d *Device) ReadBackground(ppn uint64, at simclock.Time) (data []byte, oob OOB, done simclock.Time, err error) {
+//
+// The returned data is a pooled copy: the caller owns it until it calls
+// data.Release(), after which the bytes may be reused by any pool consumer.
+// This is the zero-copy read lane's contract — the offload engine releases
+// each page once its bytes are sealed into a segment blob, so steady-state
+// background reads allocate nothing.
+func (d *Device) ReadBackground(ppn uint64, at simclock.Time) (data *bufpool.Buf, oob OOB, done simclock.Time, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.readOn(ppn, at, d.occupyBG)
+	src, oob, done, err := d.readOn(ppn, at, d.occupyBG)
+	if err != nil {
+		return nil, oob, done, err
+	}
+	data = bufpool.Get(len(src))
+	data.B = append(data.B, src...)
+	d.maybeFlip(data.B)
+	return data, oob, done, nil
 }
 
 // Read returns a copy of the page's data and OOB. The returned completion
@@ -268,29 +282,42 @@ func (d *Device) Read(ppn uint64, at simclock.Time) (data []byte, oob OOB, done 
 
 // readLocked is Read with d.mu held.
 func (d *Device) readLocked(ppn uint64, at simclock.Time) (data []byte, oob OOB, done simclock.Time, err error) {
-	return d.readOn(ppn, at, d.occupy)
+	src, oob, done, err := d.readOn(ppn, at, d.occupy)
+	if err != nil {
+		return nil, oob, done, err
+	}
+	data = make([]byte, len(src))
+	copy(data, src)
+	d.maybeFlip(data)
+	return data, oob, done, nil
 }
 
 // readOn performs a page read, charging chip time through the given lane
-// (occupy for the host datapath, occupyBG for the offload engine).
-func (d *Device) readOn(ppn uint64, at simclock.Time, lane func(uint64, simclock.Time, simclock.Duration) simclock.Time) (data []byte, oob OOB, done simclock.Time, err error) {
+// (occupy for the host datapath, occupyBG for the offload engine). The
+// returned slice aliases the stored page; callers copy it out before
+// releasing d.mu.
+func (d *Device) readOn(ppn uint64, at simclock.Time, lane func(uint64, simclock.Time, simclock.Duration) simclock.Time) (src []byte, oob OOB, done simclock.Time, err error) {
 	if ppn >= uint64(len(d.pages)) {
 		return nil, OOB{}, at, ErrOutOfRange
 	}
-	src := d.pages[ppn]
-	if src == nil {
+	pg := d.pages[ppn]
+	if pg == nil {
 		return nil, OOB{}, at, ErrUnwritten
 	}
 	d.stats.Reads++
 	done = lane(d.geo.BlockOf(ppn), at, d.timing.ReadLatency+d.timing.Transfer)
-	data = make([]byte, len(src))
-	copy(data, src)
+	return pg.B, d.oobs[ppn], done, nil
+}
+
+// maybeFlip injects a single-bit read error into data per the configured
+// probability (fault-injection tests). Called with d.mu held so the rng
+// stream stays deterministic.
+func (d *Device) maybeFlip(data []byte) {
 	if d.cfg.BitErrorProb > 0 && d.rng.Float64() < d.cfg.BitErrorProb {
 		bit := d.rng.Intn(len(data) * 8)
 		data[bit/8] ^= 1 << (bit % 8)
 		d.stats.BitErrors++
 	}
-	return data, d.oobs[ppn], done, nil
 }
 
 // Program writes data and OOB to an erased page. Pages within a block must
@@ -321,8 +348,10 @@ func (d *Device) programLocked(ppn uint64, data []byte, oob OOB, at simclock.Tim
 		return at, fmt.Errorf("%w: block %d page %d, expected page %d",
 			ErrNonSequential, block, idx, bs.programmed)
 	}
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	// The stored copy is a pooled buffer: Erase releases it, so steady-state
+	// program/erase churn recycles page memory instead of allocating it.
+	buf := bufpool.Get(len(data))
+	buf.B = append(buf.B, data...)
 	d.pages[ppn] = buf
 	d.oobs[ppn] = oob
 	bs.programmed++
@@ -351,6 +380,10 @@ func (d *Device) Erase(block uint64, at simclock.Time) (done simclock.Time, err 
 	}
 	base := block * uint64(d.geo.PagesPerBlock)
 	for i := 0; i < d.geo.PagesPerBlock; i++ {
+		// Every read hands out a copy, so no borrowed view can outlive the
+		// page; releasing the storage back to the pool here is what makes
+		// the program path allocation-free in steady state.
+		d.pages[base+uint64(i)].Release()
 		d.pages[base+uint64(i)] = nil
 		d.oobs[base+uint64(i)] = OOB{}
 	}

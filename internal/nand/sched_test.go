@@ -111,10 +111,14 @@ func TestBackgroundReadDoesNotDelayHost(t *testing.T) {
 	}
 	start := simclock.Time(simclock.Second)
 	readOp := simclock.Duration(d.timing.ReadLatency + d.timing.Transfer)
-	_, _, bgDone, err := d.ReadBackground(g.PPN(0, 0), start)
+	bgData, _, bgDone, err := d.ReadBackground(g.PPN(0, 0), start)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if string(bgData.B) != string(schedPage(1)) {
+		t.Fatal("background read returned wrong data")
+	}
+	bgData.Release()
 	if bgDone != start.Add(readOp) {
 		t.Fatalf("bg read done %v, want %v", bgDone, start.Add(readOp))
 	}
@@ -125,10 +129,11 @@ func TestBackgroundReadDoesNotDelayHost(t *testing.T) {
 	if hostDone != start.Add(readOp) {
 		t.Fatalf("host read delayed by background read: done %v, want %v", hostDone, start.Add(readOp))
 	}
-	_, _, bg2, err := d.ReadBackground(g.PPN(0, 0), start)
+	bg2Data, _, bg2, err := d.ReadBackground(g.PPN(0, 0), start)
 	if err != nil {
 		t.Fatal(err)
 	}
+	bg2Data.Release()
 	// The second background read queues behind the first AND behind the
 	// host lane (host traffic has priority).
 	if bg2 <= bgDone {

@@ -1,0 +1,120 @@
+package nvmeoe
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bufpool"
+)
+
+// TestAppendCodecMatchesAllocatingAPI pins the append-style entry points to
+// the allocating ones: same bytes on the wire, same decode, including the
+// legacy passthrough (which Append must copy, never alias).
+func TestAppendCodecMatchesAllocatingAPI(t *testing.T) {
+	raw := testSegment(t, make([]byte, 8192)).Marshal()
+	want := EncodeSegmentBlob(raw)
+	got := AppendSegmentBlob(nil, raw)
+	if !bytes.Equal(got, want) {
+		t.Fatal("AppendSegmentBlob differs from EncodeSegmentBlob")
+	}
+	// Appending after a prefix must leave the prefix alone.
+	withPrefix := AppendSegmentBlob([]byte("prefix"), raw)
+	if string(withPrefix[:6]) != "prefix" || !bytes.Equal(withPrefix[6:], want) {
+		t.Fatal("AppendSegmentBlob corrupted prefix or body")
+	}
+
+	dec, err := AppendDecodeSegmentBlob(nil, want)
+	if err != nil || !bytes.Equal(dec, raw) {
+		t.Fatalf("AppendDecodeSegmentBlob: %v", err)
+	}
+	// Legacy bare marshal: decoded copy, not an alias.
+	legacy, err := AppendDecodeSegmentBlob(nil, raw)
+	if err != nil || !bytes.Equal(legacy, raw) {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if len(legacy) > 0 && &legacy[0] == &raw[0] {
+		t.Fatal("AppendDecodeSegmentBlob aliased its input")
+	}
+}
+
+// TestCodecSteadyStateAllocs asserts the tentpole contract: the codec hot
+// loop — deflate, inflate, blob encode, blob decode — performs zero
+// allocations per operation once its pooled buffers are warm.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	if bufpool.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc assertions run in the non-race job")
+	}
+	seg := testSegment(t, bytes.Repeat([]byte("hot loop page "), 512))
+	raw := seg.Marshal()
+	blob := EncodeSegmentBlob(raw)
+
+	scratch := bufpool.Get(2 * len(raw))
+	defer scratch.Release()
+
+	if n := testing.AllocsPerRun(50, func() {
+		out, ok := AppendDeflate(scratch.B[:0], raw)
+		if !ok {
+			t.Fatal("compressible payload did not deflate")
+		}
+		scratch.B = out[:0]
+	}); n != 0 {
+		t.Errorf("AppendDeflate: %v allocs/op, want 0", n)
+	}
+
+	comp, _ := Deflate(raw)
+	if n := testing.AllocsPerRun(50, func() {
+		out, err := AppendInflate(scratch.B[:0], comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch.B = out[:0]
+	}); n != 0 {
+		t.Errorf("AppendInflate: %v allocs/op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(50, func() {
+		out := AppendSegmentBlob(scratch.B[:0], raw)
+		scratch.B = out[:0]
+	}); n != 0 {
+		t.Errorf("AppendSegmentBlob: %v allocs/op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(50, func() {
+		out, err := AppendDecodeSegmentBlob(scratch.B[:0], blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch.B = out[:0]
+	}); n != 0 {
+		t.Errorf("AppendDecodeSegmentBlob: %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkAppendSegmentBlob(b *testing.B) {
+	seg := testSegment(b, bytes.Repeat([]byte("bench page "), 512))
+	raw := seg.Marshal()
+	scratch := bufpool.Get(BlobOverhead + len(raw))
+	defer scratch.Release()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		scratch.B = AppendSegmentBlob(scratch.B[:0], raw)[:0]
+	}
+}
+
+func BenchmarkAppendDecodeSegmentBlob(b *testing.B) {
+	seg := testSegment(b, bytes.Repeat([]byte("bench page "), 512))
+	raw := seg.Marshal()
+	blob := EncodeSegmentBlob(raw)
+	scratch := bufpool.Get(len(raw))
+	defer scratch.Release()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		out, err := AppendDecodeSegmentBlob(scratch.B[:0], blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch.B = out[:0]
+	}
+}

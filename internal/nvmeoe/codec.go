@@ -1,12 +1,11 @@
 package nvmeoe
 
 import (
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
+
+	"repro/internal/bufpool"
 )
 
 // This file is the one compression implementation in the tree: the frame
@@ -51,28 +50,66 @@ const (
 // ErrBadBlob reports a segment blob whose codec framing does not decode.
 var ErrBadBlob = errors.New("nvmeoe: malformed segment blob")
 
+// BlobOverhead is the codec frame's fixed cost; AppendSegmentBlob never
+// appends more than BlobOverhead+len(raw) bytes, so callers can size a
+// pooled destination exactly.
+const BlobOverhead = blobHeaderSize
+
 // EncodeSegmentBlob wraps a marshaled segment in the codec frame,
 // compressing when that shrinks it. The result is what goes on the wire
 // and into the object store.
 func EncodeSegmentBlob(raw []byte) []byte {
-	codec, body := CodecNone, raw
-	if c, ok := Deflate(raw); ok {
-		codec, body = CodecDeflate, c
+	return AppendSegmentBlob(make([]byte, 0, blobHeaderSize+len(raw)), raw)
+}
+
+// AppendSegmentBlob is EncodeSegmentBlob into a caller-provided buffer: it
+// appends the codec-framed blob to dst and returns the extended slice. This
+// is the encode hot loop's entry point — with a pooled dst of capacity
+// BlobOverhead+len(raw) it allocates nothing.
+func AppendSegmentBlob(dst, raw []byte) []byte {
+	base := len(dst)
+	var hdr [blobHeaderSize]byte
+	dst = append(dst, hdr[:]...)
+	codec := CodecDeflate
+	out, ok := AppendDeflate(dst, raw)
+	if !ok {
+		codec = CodecNone
+		out = append(dst, raw...)
 	}
-	b := make([]byte, 0, blobHeaderSize+len(body))
-	b = binary.LittleEndian.AppendUint32(b, blobMagic)
-	b = append(b, byte(codec))
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(raw)))
-	return append(b, body...)
+	binary.LittleEndian.PutUint32(out[base:], blobMagic)
+	out[base+4] = byte(codec)
+	binary.LittleEndian.PutUint32(out[base+5:], uint32(len(raw)))
+	return out
 }
 
 // DecodeSegmentBlob returns the marshaled segment inside blob, inflating
 // when the codec header says so. Blobs without a codec header — segments
 // persisted before the compressed wire format — are returned verbatim, so
-// old stores keep reloading.
+// old stores keep reloading. The CodecNone and legacy paths alias blob
+// rather than copying; use AppendDecodeSegmentBlob when the result must
+// land in a caller-owned (pooled) buffer.
 func DecodeSegmentBlob(blob []byte) ([]byte, error) {
 	if !IsSegmentBlob(blob) {
 		return blob, nil
+	}
+	if Codec(blob[4]) == CodecNone {
+		body := blob[blobHeaderSize:]
+		if rawLen := binary.LittleEndian.Uint32(blob[5:]); uint32(len(body)) != rawLen {
+			return nil, fmt.Errorf("%w: raw length %d, header says %d", ErrBadBlob, len(body), rawLen)
+		}
+		return body, nil
+	}
+	return AppendDecodeSegmentBlob(nil, blob)
+}
+
+// AppendDecodeSegmentBlob is DecodeSegmentBlob into a caller-provided
+// buffer: the decoded marshal is appended to dst (always copied, even on
+// the passthrough paths, so the result never aliases blob). The ingest hot
+// loop decodes through it with a pooled dst sized by
+// SegmentBlobLogicalSize; with sufficient capacity it allocates nothing.
+func AppendDecodeSegmentBlob(dst, blob []byte) ([]byte, error) {
+	if !IsSegmentBlob(blob) {
+		return append(dst, blob...), nil
 	}
 	codec := Codec(blob[4])
 	rawLen := binary.LittleEndian.Uint32(blob[5:])
@@ -82,16 +119,17 @@ func DecodeSegmentBlob(blob []byte) ([]byte, error) {
 		if uint32(len(body)) != rawLen {
 			return nil, fmt.Errorf("%w: raw length %d, header says %d", ErrBadBlob, len(body), rawLen)
 		}
-		return body, nil
+		return append(dst, body...), nil
 	case CodecDeflate:
-		raw, err := Inflate(body)
+		base := len(dst)
+		out, err := AppendInflate(dst, body)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
 		}
-		if uint32(len(raw)) != rawLen {
-			return nil, fmt.Errorf("%w: inflated to %d, header says %d", ErrBadBlob, len(raw), rawLen)
+		if uint32(len(out)-base) != rawLen {
+			return nil, fmt.Errorf("%w: inflated to %d, header says %d", ErrBadBlob, len(out)-base, rawLen)
 		}
-		return raw, nil
+		return out, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown codec %d", ErrBadBlob, codec)
 	}
@@ -116,28 +154,40 @@ func IsSegmentBlob(b []byte) bool {
 
 // Deflate compresses p, reporting false when compression does not shrink it.
 func Deflate(p []byte) ([]byte, bool) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
+	out, ok := AppendDeflate(nil, p)
+	if !ok {
 		return nil, false
 	}
-	if _, err := w.Write(p); err != nil {
-		return nil, false
+	return out, true
+}
+
+// AppendDeflate appends the DEFLATE compression of p to dst, reporting
+// false — with dst returned unchanged — when compression does not shrink p.
+// The compressor itself is pooled (a flate.Writer is a multi-KB struct);
+// with sufficient dst capacity the call allocates nothing.
+func AppendDeflate(dst, p []byte) ([]byte, bool) {
+	d := bufpool.GetDeflater()
+	out, err := d.Append(dst, p)
+	d.Release()
+	if err != nil || len(out)-len(dst) >= len(p) {
+		return dst, false
 	}
-	if err := w.Close(); err != nil {
-		return nil, false
-	}
-	if buf.Len() >= len(p) {
-		return nil, false
-	}
-	return buf.Bytes(), true
+	return out, true
 }
 
 // Inflate decompresses a Deflate result.
 func Inflate(p []byte) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(p))
-	defer r.Close()
-	return io.ReadAll(r)
+	return AppendInflate(nil, p)
+}
+
+// AppendInflate appends the decompression of the DEFLATE stream p to dst.
+// The decompressor is pooled; with sufficient dst capacity the call
+// allocates nothing.
+func AppendInflate(dst, p []byte) ([]byte, error) {
+	i := bufpool.GetInflater()
+	out, err := i.Append(dst, p)
+	i.Release()
+	return out, err
 }
 
 // CompressionRatio reports how much the codec shrinks p (original/encoded);

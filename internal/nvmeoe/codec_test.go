@@ -9,7 +9,7 @@ import (
 	"repro/internal/oplog"
 )
 
-func testSegment(t *testing.T, data []byte) *oplog.Segment {
+func testSegment(t testing.TB, data []byte) *oplog.Segment {
 	t.Helper()
 	return &oplog.Segment{
 		DeviceID: 7,

@@ -28,8 +28,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"net"
+
+	"repro/internal/bufpool"
 )
 
 // MsgType identifies the meaning of a frame's payload.
@@ -38,12 +41,12 @@ type MsgType uint8
 const (
 	MsgHello MsgType = iota + 1
 	MsgHelloAck
-	MsgSegment       // device -> server: oplog.Segment (push of logs + retained pages)
-	MsgSegmentAck    // server -> device: durable up to sequence N
-	MsgCheckpoint    // device -> server: mapping snapshot
+	MsgSegment    // device -> server: oplog.Segment (push of logs + retained pages)
+	MsgSegmentAck // server -> device: durable up to sequence N
+	MsgCheckpoint // device -> server: mapping snapshot
 	MsgCheckpointAck
-	MsgFetch      // device -> server: retrieval request (recovery/forensics)
-	MsgFetchResp  // server -> device
+	MsgFetch     // device -> server: retrieval request (recovery/forensics)
+	MsgFetchResp // server -> device
 	MsgError
 	MsgFetchChunk // server -> device: one codec-framed chunk of a streamed fetch
 	MsgFetchEnd   // server -> device: stream trailer (StreamEnd)
@@ -118,11 +121,49 @@ func deriveKey(psk, nonceC, nonceS []byte, label string) []byte {
 	return mac.Sum(nil)
 }
 
-// halfConn holds one direction's cipher state.
+// halfConn holds one direction's cipher state. The AES block and HMAC
+// instances are built once per session and reused per frame (Reset between
+// frames); rebuilding them per message was a measurable slice of the old
+// datapath's allocation rate.
 type halfConn struct {
 	encKey []byte
 	macKey []byte
 	seq    uint64
+
+	blk cipher.Block // cached AES block cipher (lazy)
+	mac hash.Hash    // cached HMAC-SHA-256 (lazy)
+	tag []byte       // reusable MAC output buffer
+}
+
+// init lazily builds the per-session cipher state.
+func (h *halfConn) init() error {
+	if h.blk == nil {
+		blk, err := aes.NewCipher(h.encKey)
+		if err != nil {
+			return err
+		}
+		h.blk = blk
+		h.mac = hmac.New(sha256.New, h.macKey)
+		h.tag = make([]byte, 0, macSize)
+	}
+	return nil
+}
+
+// seal XORs data in place with the keystream for seq.
+func (h *halfConn) seal(seq uint64, data []byte) {
+	var iv [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(iv[:], seq)
+	iv[15] = 0x5D // domain separation from any other CTR use of the key
+	cipher.NewCTR(h.blk, iv[:]).XORKeyStream(data, data)
+}
+
+// sum computes the frame MAC over hdr and ct into the reusable tag buffer.
+func (h *halfConn) sum(hdr, ct []byte) []byte {
+	h.mac.Reset()
+	h.mac.Write(hdr)
+	h.mac.Write(ct)
+	h.tag = h.mac.Sum(h.tag[:0])
+	return h.tag
 }
 
 // Conn is an established, authenticated NVMe-oE session over an underlying
@@ -135,73 +176,65 @@ type Conn struct {
 	in  halfConn
 }
 
-// iv derives the per-frame CTR IV from the direction key and sequence
-// number. CTR IVs must never repeat under one key; binding them to the
-// monotonically increasing frame sequence guarantees that.
-func frameIV(seq uint64) []byte {
-	iv := make([]byte, aes.BlockSize)
-	binary.LittleEndian.PutUint64(iv, seq)
-	iv[15] = 0x5D // domain separation from any other CTR use of the key
-	return iv
-}
-
-func xorCTR(key []byte, seq uint64, data []byte) error {
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		return err
-	}
-	cipher.NewCTR(block, frameIV(seq)).XORKeyStream(data, data)
-	return nil
-}
-
 // WriteMsg compresses (when profitable), encrypts, MACs, and sends one
-// message.
+// message. Compression scratch and the ciphertext copy ride pooled
+// buffers; nothing written here outlives the call.
 func (c *Conn) WriteMsg(t MsgType, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrTooLarge
 	}
+	if err := c.out.init(); err != nil {
+		return err
+	}
 	flags := uint16(0)
 	body := payload
+	var comp *bufpool.Buf
 	// Codec-framed segment blobs arrive already compressed (the offload
 	// engine encodes them at seal time); re-deflating them only burns CPU.
 	if len(payload) > 128 && !IsSegmentBlob(payload) {
-		if compressed, ok := Deflate(payload); ok {
+		comp = bufpool.Get(len(payload))
+		if compressed, ok := AppendDeflate(comp.B, payload); ok {
 			body = compressed
 			flags |= flagCompressed
+		} else {
+			comp.Release()
+			comp = nil
 		}
 	}
-	ct := append([]byte(nil), body...)
-	if err := xorCTR(c.out.encKey, c.out.seq, ct); err != nil {
-		return err
-	}
-	hdr := make([]byte, headerSize)
+	ct := bufpool.Get(len(body))
+	ct.B = append(ct.B, body...)
+	comp.Release() // body copied into ct; the scratch can go back
+	c.out.seal(c.out.seq, ct.B)
+	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
 	hdr[4] = protoVersion
 	hdr[5] = byte(t)
 	binary.LittleEndian.PutUint16(hdr[6:], flags)
 	binary.LittleEndian.PutUint64(hdr[8:], c.out.seq)
-	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(ct)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(ct.B)))
 
-	mac := hmac.New(sha256.New, c.out.macKey)
-	mac.Write(hdr)
-	mac.Write(ct)
-	tag := mac.Sum(nil)
+	tag := c.out.sum(hdr[:], ct.B)
 
 	c.out.seq++
-	if _, err := c.nc.Write(hdr); err != nil {
+	if _, err := c.nc.Write(hdr[:]); err != nil {
+		ct.Release()
 		return err
 	}
-	if _, err := c.nc.Write(ct); err != nil {
+	_, err := c.nc.Write(ct.B)
+	ct.Release()
+	if err != nil {
 		return err
 	}
-	_, err := c.nc.Write(tag)
+	_, err = c.nc.Write(tag)
 	return err
 }
 
 // ReadMsg receives, authenticates, decrypts, and decompresses one message.
+// The returned payload is freshly owned by the caller; compressed frames
+// decrypt through a pooled intermediate that never escapes.
 func (c *Conn) ReadMsg() (MsgType, []byte, error) {
-	hdr := make([]byte, headerSize)
-	if _, err := io.ReadFull(c.br, hdr); err != nil {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
@@ -210,6 +243,9 @@ func (c *Conn) ReadMsg() (MsgType, []byte, error) {
 	if hdr[4] != protoVersion {
 		return 0, nil, ErrBadVersion
 	}
+	if err := c.in.init(); err != nil {
+		return 0, nil, err
+	}
 	t := MsgType(hdr[5])
 	flags := binary.LittleEndian.Uint16(hdr[6:])
 	seq := binary.LittleEndian.Uint64(hdr[8:])
@@ -217,32 +253,42 @@ func (c *Conn) ReadMsg() (MsgType, []byte, error) {
 	if clen > MaxPayload {
 		return 0, nil, ErrTooLarge
 	}
-	ct := make([]byte, clen)
+	// A compressed frame's ciphertext is scratch (the inflated payload is
+	// what escapes); an uncompressed frame's ciphertext becomes the payload
+	// and must be a plain allocation.
+	var ct []byte
+	var ctBuf *bufpool.Buf
+	if flags&flagCompressed != 0 {
+		ctBuf = bufpool.Get(int(clen))
+		ct = ctBuf.B[:clen]
+	} else {
+		ct = make([]byte, clen)
+	}
 	if _, err := io.ReadFull(c.br, ct); err != nil {
+		ctBuf.Release()
 		return 0, nil, err
 	}
-	tag := make([]byte, macSize)
-	if _, err := io.ReadFull(c.br, tag); err != nil {
+	var tag [macSize]byte
+	if _, err := io.ReadFull(c.br, tag[:]); err != nil {
+		ctBuf.Release()
 		return 0, nil, err
 	}
-	mac := hmac.New(sha256.New, c.in.macKey)
-	mac.Write(hdr)
-	mac.Write(ct)
-	if !hmac.Equal(tag, mac.Sum(nil)) {
+	if !hmac.Equal(tag[:], c.in.sum(hdr[:], ct)) {
+		ctBuf.Release()
 		return 0, nil, ErrBadMAC
 	}
 	// The MAC binds seq; strict in-order delivery rejects replays and
 	// drops (the underlying transport is reliable, so any deviation is
 	// an attack or a bug, not loss).
 	if seq != c.in.seq {
+		ctBuf.Release()
 		return 0, nil, fmt.Errorf("%w: got seq %d, want %d", ErrReplay, seq, c.in.seq)
 	}
 	c.in.seq++
-	if err := xorCTR(c.in.encKey, seq, ct); err != nil {
-		return 0, nil, err
-	}
+	c.in.seal(seq, ct)
 	if flags&flagCompressed != 0 {
 		pt, err := Inflate(ct)
+		ctBuf.Release()
 		if err != nil {
 			return 0, nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 		}

@@ -125,21 +125,40 @@ func UnmarshalStreamEnd(b []byte) (StreamEnd, error) {
 // Ack acknowledges durable receipt of segments (or checkpoints) up to and
 // including sequence UpTo. The device may only release local pins for data
 // covered by an ack — that ordering is what makes retention loss-free.
+//
+// SvcNs carries the storage tier's modeled service time for persisting the
+// acked payload (s3sim's Put latency; zero on free local tiers), so the
+// device-side ack latency model reflects the backend the server actually
+// wrote to, not just the NVMe-oE wire.
 type Ack struct {
-	UpTo uint64
+	UpTo  uint64
+	SvcNs uint64
 }
+
+// ack sizes: the legacy encoding predates SvcNs; both decode.
+const (
+	ackSizeLegacy = 8
+	ackSize       = 16
+)
 
 // Marshal encodes the ack.
 func (a *Ack) Marshal() []byte {
-	return binary.LittleEndian.AppendUint64(nil, a.UpTo)
+	b := make([]byte, 0, ackSize)
+	b = binary.LittleEndian.AppendUint64(b, a.UpTo)
+	return binary.LittleEndian.AppendUint64(b, a.SvcNs)
 }
 
-// UnmarshalAck decodes an ack.
+// UnmarshalAck decodes an ack. Acks from pre-tier-latency servers lack the
+// SvcNs field and decode with a zero service time.
 func UnmarshalAck(b []byte) (Ack, error) {
-	if len(b) != 8 {
+	if len(b) != ackSize && len(b) != ackSizeLegacy {
 		return Ack{}, fmt.Errorf("%w: ack size %d", ErrBadMessage, len(b))
 	}
-	return Ack{UpTo: binary.LittleEndian.Uint64(b)}, nil
+	a := Ack{UpTo: binary.LittleEndian.Uint64(b)}
+	if len(b) == ackSize {
+		a.SvcNs = binary.LittleEndian.Uint64(b[8:])
+	}
+	return a, nil
 }
 
 // Checkpoint carries a serialized mapping snapshot: the L2P table at a

@@ -393,3 +393,22 @@ func TestTransportRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAckServiceTimeRoundTripAndLegacy(t *testing.T) {
+	// New acks carry the tier's modeled Put service time.
+	a := Ack{UpTo: 42, SvcNs: 18_000_000}
+	got, err := UnmarshalAck(a.Marshal())
+	if err != nil || got != a {
+		t.Fatalf("ack roundtrip = %+v, %v", got, err)
+	}
+	// Acks from pre-tier-latency servers are 8 bytes and decode with a
+	// zero service time — devices keep working against old servers.
+	legacy := a.Marshal()[:8]
+	got, err = UnmarshalAck(legacy)
+	if err != nil || got.UpTo != 42 || got.SvcNs != 0 {
+		t.Fatalf("legacy ack = %+v, %v", got, err)
+	}
+	if _, err := UnmarshalAck(a.Marshal()[:5]); err == nil {
+		t.Fatal("truncated ack decoded")
+	}
+}

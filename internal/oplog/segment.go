@@ -46,13 +46,27 @@ var (
 	ErrBadMagic   = errors.New("oplog: bad segment magic")
 )
 
+// MarshaledSize returns exactly len(Marshal()) without marshaling; the
+// offload engine uses it to size pooled encode buffers and to model the
+// encode stage's simulated duration before the real encode runs.
+func (s *Segment) MarshaledSize() int {
+	size := 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + len(s.Entries)*EntrySize
+	for i := range s.Pages {
+		size += 8 + 8 + 8 + 1 + HashSize + 4 + len(s.Pages[i].Data)
+	}
+	return size
+}
+
 // Marshal serializes the segment.
 func (s *Segment) Marshal() []byte {
-	size := 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + len(s.Entries)*EntrySize
-	for _, p := range s.Pages {
-		size += 8 + 8 + 8 + 1 + HashSize + 4 + len(p.Data)
-	}
-	b := make([]byte, 0, size)
+	return s.AppendMarshal(make([]byte, 0, s.MarshaledSize()))
+}
+
+// AppendMarshal is Marshal into a caller-provided buffer: the serialized
+// segment is appended to b and the extended slice returned. With a pooled
+// buffer of capacity MarshaledSize it allocates nothing — the encode hot
+// loop's contract.
+func (s *Segment) AppendMarshal(b []byte) []byte {
 	b = binary.LittleEndian.AppendUint32(b, segmentMagic)
 	b = binary.LittleEndian.AppendUint64(b, s.DeviceID)
 	b = binary.LittleEndian.AppendUint64(b, s.FirstSeq)

@@ -1,0 +1,73 @@
+package oplog
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/simclock"
+)
+
+func allocTestSegment() *Segment {
+	seg := &Segment{DeviceID: 3, FirstSeq: 10, LastSeq: 14,
+		FirstTime: simclock.Time(100), LastTime: simclock.Time(400)}
+	var prev [HashSize]byte
+	for i := uint64(10); i < 14; i++ {
+		e := Entry{Seq: i, Kind: KindWrite, At: simclock.Time(100 * i), LPN: i,
+			DataHash: HashData([]byte{byte(i)}), PrevHash: prev}
+		seg.Entries = append(seg.Entries, e)
+		prev = e.Hash
+	}
+	data := bytes.Repeat([]byte("retained page "), 300)
+	seg.Pages = []PageRecord{
+		{LPN: 9, WriteSeq: 8, StaleSeq: 11, Cause: 1, Hash: HashData(data), Data: data},
+	}
+	return seg
+}
+
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	seg := allocTestSegment()
+	want := seg.Marshal()
+	if got := seg.MarshaledSize(); got != len(want) {
+		t.Fatalf("MarshaledSize = %d, marshal produced %d bytes", got, len(want))
+	}
+	got := seg.AppendMarshal([]byte("prefix"))
+	if string(got[:6]) != "prefix" || !bytes.Equal(got[6:], want) {
+		t.Fatal("AppendMarshal differs from Marshal")
+	}
+	back, err := UnmarshalSegment(got[6:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LastSeq != seg.LastSeq || len(back.Entries) != len(seg.Entries) || len(back.Pages) != 1 {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+// TestMarshalSteadyStateAllocs: sealing a segment into a pooled buffer is
+// allocation-free once the buffer is warm — the seal side of the
+// zero-allocation datapath contract.
+func TestMarshalSteadyStateAllocs(t *testing.T) {
+	if bufpool.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc assertions run in the non-race job")
+	}
+	seg := allocTestSegment()
+	buf := bufpool.Get(seg.MarshaledSize())
+	defer buf.Release()
+	if n := testing.AllocsPerRun(50, func() {
+		buf.B = seg.AppendMarshal(buf.B[:0])[:0]
+	}); n != 0 {
+		t.Errorf("AppendMarshal: %v allocs/op, want 0", n)
+	}
+}
+
+func BenchmarkSegmentAppendMarshal(b *testing.B) {
+	seg := allocTestSegment()
+	buf := bufpool.Get(seg.MarshaledSize())
+	defer buf.Release()
+	b.ReportAllocs()
+	b.SetBytes(int64(seg.MarshaledSize()))
+	for i := 0; i < b.N; i++ {
+		buf.B = seg.AppendMarshal(buf.B[:0])[:0]
+	}
+}

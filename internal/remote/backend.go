@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/simclock"
 )
 
 // The storage-tier backend registry. The paper backs the remote evidence
@@ -85,6 +87,52 @@ func Backends() []string {
 // knowing the concrete tier.
 type TierStatter interface {
 	TierStats() TierStats
+}
+
+// ServiceTimeModeler is implemented by backends whose Put has a modeled
+// service time (s3sim). The server reads it per segment and threads it
+// into the durability ack, so the device's OffloadAckTime reflects the
+// backend it is actually protected by. Free local tiers simply don't
+// implement it and ack with zero service time.
+type ServiceTimeModeler interface {
+	PutServiceTime(n int) simclock.Duration
+}
+
+// BackendProfile carries a tier's offload tuning defaults: how deep the
+// device should stage and where its retention watermarks should sit. A
+// high-latency cloud tier wants a deeper staging queue (more acks in
+// flight to hide the round trip) and an earlier high watermark (start
+// draining sooner, since each drain takes longer to become durable) than a
+// local storage server does.
+type BackendProfile struct {
+	OffloadQueueDepth int
+	OffloadHighWater  float64
+	OffloadLowWater   float64
+}
+
+// profiles maps registered tiers to their tuning; Profile falls back to
+// the local-tier defaults for tiers registered without one.
+var profiles = map[string]BackendProfile{
+	"mem":   {OffloadQueueDepth: 8, OffloadHighWater: 0.50, OffloadLowWater: 0.25},
+	"dir":   {OffloadQueueDepth: 8, OffloadHighWater: 0.50, OffloadLowWater: 0.25},
+	"s3sim": {OffloadQueueDepth: 32, OffloadHighWater: 0.40, OffloadLowWater: 0.20},
+}
+
+// Profile returns the named tier's offload tuning defaults.
+func Profile(name string) BackendProfile {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if p, ok := profiles[name]; ok {
+		return p
+	}
+	return BackendProfile{OffloadQueueDepth: 8, OffloadHighWater: 0.50, OffloadLowWater: 0.25}
+}
+
+// RegisterBackendProfile sets (or replaces) a tier's tuning defaults.
+func RegisterBackendProfile(name string, p BackendProfile) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	profiles[name] = p
 }
 
 // Settler is implemented by eventually-consistent backends whose LIST view

@@ -116,24 +116,43 @@ func (s *S3Sim) xfer(n int) simclock.Duration {
 	return simclock.Duration(float64(n) / (s.cfg.MBps * 1e6) * float64(simclock.Second))
 }
 
+// putLatency models persisting an n-byte blob: first-byte plus transfer,
+// with multipart round trips above the part-size threshold. It is the
+// service time Put accrues and the number PutServiceTime exposes to the
+// segment-ack path.
+func (s *S3Sim) putLatency(n int) simclock.Duration {
+	if n > s.cfg.PartSize {
+		parts := (n + s.cfg.PartSize - 1) / s.cfg.PartSize
+		rounds := (parts + s.cfg.PartLanes - 1) / s.cfg.PartLanes
+		// initiate + complete, then each lane-round pays a first-byte;
+		// the body transfer is bandwidth-bound regardless of lanes.
+		return s.cfg.FirstByte*simclock.Duration(2+rounds) + s.xfer(n)
+	}
+	return s.cfg.FirstByte + s.xfer(n)
+}
+
+// PutServiceTime implements ServiceTimeModeler: the modeled service time
+// of persisting an n-byte blob, which the server threads into segment
+// acks so device-side OffloadAckTime reflects the backend. It reads only
+// the immutable config, so no lock is taken — the segment-ingest hot path
+// calls it once per accepted blob.
+func (s *S3Sim) PutServiceTime(n int) simclock.Duration {
+	return s.putLatency(n)
+}
+
 // Put stores a copy of data, charging request cost and modeled latency.
 // Blobs above PartSize upload as multipart: per-part PUT requests plus the
 // initiate/complete round trips, parts riding PartLanes parallel lanes.
 func (s *S3Sim) Put(key string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var lat simclock.Duration
+	lat := s.putLatency(len(data))
 	if len(data) > s.cfg.PartSize {
 		parts := (len(data) + s.cfg.PartSize - 1) / s.cfg.PartSize
-		rounds := (parts + s.cfg.PartLanes - 1) / s.cfg.PartLanes
-		// initiate + complete, then each lane-round pays a first-byte;
-		// the body transfer is bandwidth-bound regardless of lanes.
-		lat = s.cfg.FirstByte*simclock.Duration(2+rounds) + s.xfer(len(data))
 		s.stats.MultipartUploads++
 		s.stats.Parts += uint64(parts)
 		s.stats.RequestUSD += float64(parts+2) * s.cfg.PutUSD
 	} else {
-		lat = s.cfg.FirstByte + s.xfer(len(data))
 		s.stats.RequestUSD += s.cfg.PutUSD
 	}
 	if old, ok := s.data[key]; ok {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
+	"repro/internal/simclock"
 )
 
 // Error codes carried in MsgError payloads.
@@ -202,7 +203,11 @@ func (s *Server) dispatch(conn *nvmeoe.Conn, deviceID uint64, typ nvmeoe.MsgType
 		if err := s.Store.AppendSegmentBlob(seg, body); err != nil {
 			return sendErr(conn, CodeBadData, err)
 		}
-		return conn.WriteMsg(nvmeoe.MsgSegmentAck, (&nvmeoe.Ack{UpTo: seg.LastSeq}).Marshal())
+		// The ack carries the tier's modeled service time for this blob, so
+		// the device's ack-latency model reflects the backend (s3sim's Put
+		// latency), not just the NVMe-oE wire.
+		ack := nvmeoe.Ack{UpTo: seg.LastSeq, SvcNs: uint64(s.Store.PutServiceTime(len(body)))}
+		return conn.WriteMsg(nvmeoe.MsgSegmentAck, ack.Marshal())
 
 	case nvmeoe.MsgCheckpoint:
 		cp, err := nvmeoe.UnmarshalCheckpoint(body)
@@ -398,18 +403,28 @@ func (c *Client) PushSegment(seg *oplog.Segment) error {
 // PushSegmentBlob ships one codec-framed segment blob and waits for the
 // durability ack covering lastSeq.
 func (c *Client) PushSegmentBlob(blob []byte, lastSeq uint64) error {
+	_, err := c.PushSegmentBlobTimed(blob, lastSeq)
+	return err
+}
+
+// PushSegmentBlobTimed is PushSegmentBlob returning the storage tier's
+// modeled Put service time carried in the ack (zero on free local tiers
+// and on pre-tier-latency servers). The offload engine folds it into the
+// simulated ack instant so device-side OffloadAckTime reflects the
+// backend.
+func (c *Client) PushSegmentBlobTimed(blob []byte, lastSeq uint64) (simclock.Duration, error) {
 	body, err := c.roundTrip(nvmeoe.MsgSegment, blob, nvmeoe.MsgSegmentAck)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	ack, err := nvmeoe.UnmarshalAck(body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if ack.UpTo != lastSeq {
-		return fmt.Errorf("remote: ack up to %d, want %d", ack.UpTo, lastSeq)
+		return 0, fmt.Errorf("remote: ack up to %d, want %d", ack.UpTo, lastSeq)
 	}
-	return nil
+	return simclock.Duration(ack.SvcNs), nil
 }
 
 // PushCheckpoint ships one mapping snapshot and waits for the ack.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
+	"repro/internal/simclock"
 )
 
 // Store indexes offloaded segments per device. Segments must arrive in
@@ -428,6 +429,16 @@ func (s *Store) TierStats() TierStats {
 		return ts.TierStats()
 	}
 	return TierStats{}
+}
+
+// PutServiceTime returns the tier's modeled service time for persisting an
+// n-byte blob, or zero on tiers without a latency model. The server reads
+// it per accepted segment and carries it in the durability ack.
+func (s *Store) PutServiceTime(n int) simclock.Duration {
+	if m, ok := s.blobs.(ServiceTimeModeler); ok {
+		return m.PutServiceTime(n)
+	}
+	return 0
 }
 
 // FetchSegment retrieves and decodes the device's i-th stored segment,

@@ -272,3 +272,33 @@ func TestReloadSettledOnS3Sim(t *testing.T) {
 		t.Fatalf("settled head = %d, want 40", got)
 	}
 }
+
+func TestTierProfilesAndPutServiceTime(t *testing.T) {
+	memP, s3P := Profile("mem"), Profile("s3sim")
+	if s3P.OffloadQueueDepth <= memP.OffloadQueueDepth {
+		t.Fatalf("cloud tier queue %d not deeper than local %d", s3P.OffloadQueueDepth, memP.OffloadQueueDepth)
+	}
+	if s3P.OffloadHighWater >= memP.OffloadHighWater {
+		t.Fatalf("cloud tier high water %v not earlier than local %v", s3P.OffloadHighWater, memP.OffloadHighWater)
+	}
+	if p := Profile("no-such-tier"); p.OffloadQueueDepth <= 0 {
+		t.Fatalf("unknown tier got empty profile %+v", p)
+	}
+
+	s3 := NewS3Sim(DefaultS3Config())
+	small := s3.PutServiceTime(1 << 10)
+	if small < DefaultS3Config().FirstByte {
+		t.Fatalf("small put service %v below first-byte floor", small)
+	}
+	big := s3.PutServiceTime(64 << 20) // multipart territory
+	if big <= small {
+		t.Fatalf("multipart put %v not above small put %v", big, small)
+	}
+	// Store surfaces the model; free tiers report zero.
+	if d := NewStore(s3).PutServiceTime(1 << 10); d != small {
+		t.Fatalf("store-surfaced service time %v != tier's %v", d, small)
+	}
+	if d := NewStore(NewMemStore()).PutServiceTime(1 << 10); d != 0 {
+		t.Fatalf("mem tier service time = %v, want 0", d)
+	}
+}
