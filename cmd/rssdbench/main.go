@@ -16,6 +16,7 @@
 //	rssdbench -exp retention      # storage tiers: local server vs modeled S3 (capacity/latency/cost)
 //	rssdbench -exp recovery       # fleet power-cycle: attack -> detect -> N concurrent streamed restores
 //	rssdbench -exp datapath       # allocation-tracked hot loops + encode-worker vs inline-encode replay
+//	rssdbench -exp ingest         # server decode lane: saturated multi-session ingest vs modeled NIC
 //
 // -scale small uses the test-sized configuration for a quick pass, and
 // -short shrinks further to the CI smoke size (small scale, 2 devices).
@@ -52,7 +53,7 @@ func run() int {
 	exp := flag.String("exp", "all", "experiment to run: all, or one registered name (an unknown name prints the registry)")
 	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_<name>.json per experiment")
-	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet, retention, and recovery")
+	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet, retention, recovery, and ingest")
 	backendFlag := flag.String("backend", "all", "storage tier(s) for -exp retention: mem, dir, s3sim, a comma list, or all")
 	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
@@ -291,13 +292,29 @@ func run() int {
 	})
 
 	register("datapath", func() error {
-		res, err := experiment.Datapath(s, *fleetDevices)
+		ingestDevices := 64
+		if *short {
+			ingestDevices = 8
+		}
+		res, err := experiment.Datapath(s, *fleetDevices, ingestDevices)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Datapath — allocation-tracked hot loops + encode-worker vs inline-encode fleet replay (%d devices)\n", *fleetDevices)
+		fmt.Printf("Datapath — allocation-tracked hot loops + encode-worker vs inline-encode fleet replay (%d devices) + %d-device server ingest\n",
+			*fleetDevices, ingestDevices)
 		fmt.Print(experiment.RenderDatapath(res))
 		return persist("datapath", res)
+	})
+
+	register("ingest", func() error {
+		res, err := experiment.Ingest(s, *fleetDevices)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Server ingest — %d pipelined sessions vs pooled decode lane + sharded detection, with NIC saturation model\n",
+			res.Measured.Devices)
+		fmt.Print(experiment.RenderIngest(res))
+		return persist("ingest", res)
 	})
 
 	if *exp != "all" {

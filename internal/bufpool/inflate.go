@@ -1,0 +1,465 @@
+// A DEFLATE (RFC 1951) decoder whose entire working state — bit reader,
+// Huffman tables, code-length scratch — lives in fixed-size arrays inside
+// the pooled Inflater. This is what makes steady-state decode 0 allocs/op:
+// compress/flate re-allocates its dynamic-Huffman link tables on every
+// block (huffmanDecoder.init does `*h = huffmanDecoder{}` plus fresh makes),
+// so even a pooled, Reset flate.Reader pays ~16 allocations per realistic
+// segment. The decoder below rebuilds tables in place instead.
+//
+// It is a whole-buffer decoder: the complete stream is in memory (codec
+// blobs always are) and output is appended to a caller buffer, so there is
+// no streaming window to manage — back-references copy straight from the
+// produced output. Correctness is cross-checked against compress/flate in
+// inflate_test.go over every stdlib compression level.
+package bufpool
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrCorrupt and ErrTruncated classify decode failures: a stream that
+// violates DEFLATE (bad block type, over-subscribed code, reference before
+// stream start, stored-block length mismatch) versus one that simply ends
+// early. Callers treat both as fatal; tests distinguish them.
+var (
+	ErrCorrupt   = errors.New("bufpool: corrupt deflate stream")
+	ErrTruncated = errors.New("bufpool: truncated deflate stream")
+)
+
+const (
+	maxCodeBits = 15  // DEFLATE's longest Huffman code
+	maxNumLit   = 288 // literal/length alphabet (286 valid + 2 reserved)
+	maxNumDist  = 32  // distance alphabet (30 valid + 2 reserved)
+	numCodeLens = 19  // the code-length alphabet of the dynamic header
+
+	// fastBits sizes the single-level lookup table. 9 bits covers every
+	// code BestSpeed emits in practice; longer codes take the canonical
+	// bit-at-a-time path.
+	fastBits = 9
+	fastSize = 1 << fastBits
+)
+
+// bitReader drains a byte slice LSB-first through a 64-bit accumulator.
+// Errors are sticky: after the first failure every read returns zero and
+// the caller's final error check reports the original cause.
+type bitReader struct {
+	in  []byte
+	pos int
+	b   uint64 // bits [0,n) are valid; higher bits are always zero
+	n   uint
+	err error
+}
+
+func (r *bitReader) fill() {
+	for r.n <= 56 && r.pos < len(r.in) {
+		r.b |= uint64(r.in[r.pos]) << r.n
+		r.pos++
+		r.n += 8
+	}
+}
+
+// take consumes k ≤ 16 bits. On underrun it flags ErrTruncated and returns
+// zero without consuming, so decode loops terminate at the sticky check.
+func (r *bitReader) take(k uint) uint32 {
+	if r.n < k {
+		r.fill()
+		if r.n < k {
+			if r.err == nil {
+				r.err = ErrTruncated
+			}
+			return 0
+		}
+	}
+	v := uint32(r.b) & (1<<k - 1)
+	r.b >>= k
+	r.n -= k
+	return v
+}
+
+// alignByte drops the partial byte before a stored block.
+func (r *bitReader) alignByte() {
+	drop := r.n & 7
+	r.b >>= drop
+	r.n -= drop
+}
+
+// huffTable is a canonical Huffman decoder with all storage inline: a
+// 9-bit single-level fast table plus per-length first-code/offset arrays
+// for the slow path. build reuses the arrays across streams — nothing here
+// ever allocates.
+type huffTable struct {
+	count  [maxCodeBits + 1]uint16 // codes per bit length
+	first  [maxCodeBits + 1]uint32 // first canonical code of each length
+	offset [maxCodeBits + 1]uint16 // syms index of each length's first code
+	syms   [maxNumLit]uint16       // symbols ordered by (length, symbol)
+	fast   [fastSize]uint16        // sym<<4 | len for codes ≤ fastBits; 0 = miss
+	min    uint                    // shortest code length (0 = empty table)
+	max    uint                    // longest code length (0 = empty table)
+}
+
+// build constructs the decoder for the given code lengths (0 = unused
+// symbol). Over-subscribed codes are corrupt; incomplete codes are accepted
+// only in the degenerate single-symbol case, matching compress/flate. An
+// all-zero length set builds an empty table that errors on first use —
+// legal for the distance alphabet of a literal-only block.
+func (t *huffTable) build(lens []uint8) error {
+	for i := range t.count {
+		t.count[i] = 0
+	}
+	total := 0
+	for _, l := range lens {
+		if l != 0 {
+			t.count[l]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.min, t.max = 0, 0
+		for i := range t.fast {
+			t.fast[i] = 0
+		}
+		return nil
+	}
+	left := 1
+	min, max := uint(0), uint(0)
+	for l := uint(1); l <= maxCodeBits; l++ {
+		left <<= 1
+		left -= int(t.count[l])
+		if left < 0 {
+			return ErrCorrupt
+		}
+		if t.count[l] != 0 {
+			if min == 0 {
+				min = l
+			}
+			max = l
+		}
+	}
+	if left > 0 && !(total == 1 && max == 1) {
+		return ErrCorrupt
+	}
+	t.min, t.max = min, max
+
+	code := uint32(0)
+	off := uint16(0)
+	var next [maxCodeBits + 1]uint16
+	for l := uint(1); l <= maxCodeBits; l++ {
+		code = (code + uint32(t.count[l-1])) << 1
+		t.first[l] = code
+		t.offset[l] = off
+		next[l] = off
+		off += t.count[l]
+	}
+	for i := range t.fast {
+		t.fast[i] = 0
+	}
+	for sym, l8 := range lens {
+		if l8 == 0 {
+			continue
+		}
+		l := uint(l8)
+		idx := next[l]
+		next[l]++
+		t.syms[idx] = uint16(sym)
+		if l <= fastBits {
+			// The stream presents code bits in reverse; fill every fast
+			// slot whose low l bits spell this code.
+			c := t.first[l] + uint32(idx-t.offset[l])
+			rev := uint32(bits.Reverse16(uint16(c)) >> (16 - l))
+			entry := uint16(sym)<<4 | uint16(l)
+			for j := rev; j < fastSize; j += 1 << l {
+				t.fast[j] = entry
+			}
+		}
+	}
+	return nil
+}
+
+// readSym decodes one symbol, or returns -1 with the error recorded on r.
+func (t *huffTable) readSym(r *bitReader) int {
+	if r.n < t.max {
+		r.fill()
+	}
+	if v := t.fast[uint32(r.b)&(fastSize-1)]; v != 0 {
+		// Bits above r.n in the accumulator are zero, so a fast hit is
+		// only trusted when its full length is actually buffered.
+		l := uint(v & 15)
+		if l <= r.n {
+			r.b >>= l
+			r.n -= l
+			return int(v >> 4)
+		}
+	}
+	code := uint32(0)
+	for l := uint(1); l <= t.max; l++ {
+		if r.n == 0 {
+			r.fill()
+			if r.n == 0 {
+				if r.err == nil {
+					r.err = ErrTruncated
+				}
+				return -1
+			}
+		}
+		code = code<<1 | uint32(r.b&1)
+		r.b >>= 1
+		r.n--
+		if l < t.min {
+			continue
+		}
+		if d := code - t.first[l]; d < uint32(t.count[l]) {
+			return int(t.syms[uint32(t.offset[l])+d])
+		}
+	}
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+	return -1
+}
+
+// The length and distance expansion tables of RFC 1951 §3.2.5.
+var (
+	lenBase   = [29]uint16{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258}
+	lenExtra  = [29]uint8{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0}
+	distBase  = [30]uint32{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577}
+	distExtra = [30]uint8{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+
+	// codeOrder is the dynamic header's permuted code-length ordering.
+	codeOrder = [numCodeLens]byte{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+
+	// The fixed-Huffman tables of §3.2.6, built once at package init; block
+	// decode reads them concurrently but never writes.
+	fixedLit  huffTable
+	fixedDist huffTable
+)
+
+func init() {
+	var lit [maxNumLit]uint8
+	for j := 0; j < 144; j++ {
+		lit[j] = 8
+	}
+	for j := 144; j < 256; j++ {
+		lit[j] = 9
+	}
+	for j := 256; j < 280; j++ {
+		lit[j] = 7
+	}
+	for j := 280; j < maxNumLit; j++ {
+		lit[j] = 8
+	}
+	if err := fixedLit.build(lit[:]); err != nil {
+		panic(err)
+	}
+	// All 32 distance codes are 5 bits; 30 and 31 decode but are rejected
+	// as corrupt when they appear, per the RFC.
+	var dist [maxNumDist]uint8
+	for j := range dist {
+		dist[j] = 5
+	}
+	if err := fixedDist.build(dist[:]); err != nil {
+		panic(err)
+	}
+}
+
+// inflate appends the decoded stream p to dst. start marks where this
+// stream's output began — back-references may not reach before it into
+// unrelated caller bytes.
+func (i *Inflater) inflate(dst, p []byte) ([]byte, error) {
+	i.br = bitReader{in: p}
+	r := &i.br
+	start := len(dst)
+	for {
+		final := r.take(1)
+		typ := r.take(2)
+		if r.err != nil {
+			return dst, r.err
+		}
+		var err error
+		switch typ {
+		case 0:
+			dst, err = i.stored(dst)
+		case 1:
+			dst, err = i.block(dst, start, &fixedLit, &fixedDist)
+		case 2:
+			if err = i.readDynamicHeader(); err == nil {
+				dst, err = i.block(dst, start, &i.lit, &i.dist)
+			}
+		default:
+			err = ErrCorrupt
+		}
+		if err != nil {
+			return dst, err
+		}
+		if final == 1 {
+			// Trailing bytes after the final block are the container's
+			// business, not ours — same stance as compress/flate.
+			return dst, nil
+		}
+	}
+}
+
+// stored copies a §3.2.4 uncompressed block.
+func (i *Inflater) stored(dst []byte) ([]byte, error) {
+	r := &i.br
+	r.alignByte()
+	ln := r.take(16)
+	nln := r.take(16)
+	if r.err != nil {
+		return dst, r.err
+	}
+	if ln != ^nln&0xffff {
+		return dst, ErrCorrupt
+	}
+	length := int(ln)
+	// Drain whole bytes already buffered in the accumulator, then bulk-copy
+	// the rest straight from the input.
+	for length > 0 && r.n >= 8 {
+		dst = append(dst, byte(r.b))
+		r.b >>= 8
+		r.n -= 8
+		length--
+	}
+	if length > len(r.in)-r.pos {
+		r.err = ErrTruncated
+		return dst, r.err
+	}
+	dst = append(dst, r.in[r.pos:r.pos+length]...)
+	r.pos += length
+	return dst, nil
+}
+
+// block decodes one Huffman-coded block body with the given tables.
+func (i *Inflater) block(dst []byte, start int, lit, dist *huffTable) ([]byte, error) {
+	r := &i.br
+	for {
+		sym := lit.readSym(r)
+		if sym < 0 {
+			return dst, r.err
+		}
+		if sym < 256 {
+			dst = append(dst, byte(sym))
+			continue
+		}
+		if sym == 256 {
+			return dst, r.err
+		}
+		if sym > 285 {
+			return dst, ErrCorrupt
+		}
+		li := sym - 257
+		length := int(lenBase[li]) + int(r.take(uint(lenExtra[li])))
+		dsym := dist.readSym(r)
+		if dsym < 0 {
+			return dst, r.err
+		}
+		if dsym > 29 {
+			return dst, ErrCorrupt
+		}
+		distance := int(distBase[dsym]) + int(r.take(uint(distExtra[dsym])))
+		if r.err != nil {
+			return dst, r.err
+		}
+		if distance > len(dst)-start {
+			return dst, ErrCorrupt
+		}
+		// Copy with pos fixed at the match start: each append extends the
+		// periodic sequence, so the copyable span doubles per iteration
+		// and overlapping (RLE-style) matches cost O(log length) appends.
+		pos := len(dst) - distance
+		for length > 0 {
+			n := len(dst) - pos
+			if n > length {
+				n = length
+			}
+			dst = append(dst, dst[pos:pos+n]...)
+			length -= n
+		}
+	}
+}
+
+// readDynamicHeader parses a §3.2.7 dynamic-Huffman header into i.lit and
+// i.dist, rebuilding the tables in place.
+func (i *Inflater) readDynamicHeader() error {
+	r := &i.br
+	hlit := int(r.take(5)) + 257
+	hdist := int(r.take(5)) + 1
+	hclen := int(r.take(4)) + 4
+	if r.err != nil {
+		return r.err
+	}
+	if hlit > 286 || hdist > 30 {
+		return ErrCorrupt
+	}
+	var clens [numCodeLens]uint8
+	for j := 0; j < hclen; j++ {
+		clens[codeOrder[j]] = uint8(r.take(3))
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if err := i.clen.build(clens[:]); err != nil {
+		return err
+	}
+	n := hlit + hdist
+	j := 0
+	for j < n {
+		sym := i.clen.readSym(r)
+		if sym < 0 {
+			return r.err
+		}
+		switch {
+		case sym < 16:
+			i.lens[j] = uint8(sym)
+			j++
+		case sym == 16:
+			if j == 0 {
+				return ErrCorrupt
+			}
+			rep := int(r.take(2)) + 3
+			if r.err != nil {
+				return r.err
+			}
+			if j+rep > n {
+				return ErrCorrupt
+			}
+			v := i.lens[j-1]
+			for k := 0; k < rep; k++ {
+				i.lens[j] = v
+				j++
+			}
+		case sym == 17:
+			rep := int(r.take(3)) + 3
+			if r.err != nil {
+				return r.err
+			}
+			if j+rep > n {
+				return ErrCorrupt
+			}
+			for k := 0; k < rep; k++ {
+				i.lens[j] = 0
+				j++
+			}
+		default: // 18
+			rep := int(r.take(7)) + 11
+			if r.err != nil {
+				return r.err
+			}
+			if j+rep > n {
+				return ErrCorrupt
+			}
+			for k := 0; k < rep; k++ {
+				i.lens[j] = 0
+				j++
+			}
+		}
+	}
+	if err := i.lit.build(i.lens[:hlit]); err != nil {
+		return err
+	}
+	if i.lit.max == 0 {
+		// A block with no literal/length codes cannot even terminate.
+		return ErrCorrupt
+	}
+	return i.dist.build(i.lens[hlit:n])
+}

@@ -111,18 +111,30 @@ type devState struct {
 	alerted bool
 }
 
+// dirShards splits the device directory so directory lookups from a fleet
+// of ingest workers don't all contend on one lock. Power of two for cheap
+// masking; 16 keeps contention negligible out to the 512-device target.
+const dirShards = 16
+
+// deviceShard is one slice of the device directory.
+type deviceShard struct {
+	mu      sync.RWMutex
+	devices map[uint64]*devState
+}
+
 // Engine consumes operation-log entries (typically via a remote.Store
 // subscription) and raises alerts. Like the remote store it is sharded
-// per device: each device's sliding window sits behind its own lock, so a
-// fleet of sessions streams through detection concurrently — one device's
-// analysis never stalls another's ingest.
+// per device: the directory itself is split across dirShards locks and
+// each device's sliding window sits behind its own lock, so a fleet of
+// sessions streams through detection concurrently — one device's analysis
+// never stalls another's ingest, and a saturated ingest lane never
+// serializes on a single directory mutex.
 type Engine struct {
 	cfg      Config
 	zeroHash [oplog.HashSize]byte
 	zeroOK   bool
 
-	mu      sync.RWMutex // guards the device directory
-	devices map[uint64]*devState
+	shards [dirShards]deviceShard
 
 	alertMu sync.Mutex
 	alerts  []Alert
@@ -135,7 +147,10 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Window <= 0 {
 		cfg = DefaultConfig()
 	}
-	e := &Engine{cfg: cfg, devices: map[uint64]*devState{}}
+	e := &Engine{cfg: cfg}
+	for i := range e.shards {
+		e.shards[i].devices = map[uint64]*devState{}
+	}
 	if cfg.PageSize > 0 {
 		e.zeroHash = oplog.HashData(make([]byte, cfg.PageSize))
 		e.zeroOK = true
@@ -175,9 +190,10 @@ func (e *Engine) AlertsFor(deviceID uint64) []Alert {
 
 // Reset clears a device's alert latch (after an investigation concludes).
 func (e *Engine) Reset(deviceID uint64) {
-	e.mu.RLock()
-	d, ok := e.devices[deviceID]
-	e.mu.RUnlock()
+	sh := &e.shards[deviceID&(dirShards-1)]
+	sh.mu.RLock()
+	d, ok := sh.devices[deviceID]
+	sh.mu.RUnlock()
 	if ok {
 		d.mu.Lock()
 		d.alerted = false
@@ -186,21 +202,22 @@ func (e *Engine) Reset(deviceID uint64) {
 }
 
 func (e *Engine) dev(id uint64) *devState {
-	e.mu.RLock()
-	d, ok := e.devices[id]
-	e.mu.RUnlock()
+	sh := &e.shards[id&(dirShards-1)]
+	sh.mu.RLock()
+	d, ok := sh.devices[id]
+	sh.mu.RUnlock()
 	if ok {
 		return d
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if d, ok = e.devices[id]; !ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if d, ok = sh.devices[id]; !ok {
 		d = &devState{
 			recentReads: map[uint64]uint64{},
 			window:      make([]event, e.cfg.Window),
 			victims:     map[uint64]struct{}{},
 		}
-		e.devices[id] = d
+		sh.devices[id] = d
 	}
 	return d
 }

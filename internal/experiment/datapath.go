@@ -20,12 +20,12 @@ import (
 //  1. Micro loops, single-goroutine: the encode hot loop (segment marshal
 //     into a pooled buffer + codec framing into a pooled buffer) and the
 //     ingest-side decode loop are measured with the runtime allocator
-//     counters. The encode loop — the device firmware's side of the
-//     datapath — must be zero allocs/op in steady state. The decode loop
-//     keeps a small per-block residue that is compress/flate's own
-//     dynamic-Huffman table rebuild (the pooled reader and buffer
-//     contribute nothing); the full store ingest, which retains pages and
-//     grows indexes by design, is reported honestly alongside.
+//     counters. Both must be zero allocs/op in steady state — encode
+//     through the pooled deflater, decode through the in-house pooled
+//     inflater (which rebuilds Huffman tables in place instead of
+//     allocating them per block the way compress/flate does). The full
+//     store ingest, which retains pages and grows indexes by design, is
+//     reported honestly alongside.
 //
 //  2. Fleet replays, both pipeline variants in the same run: the
 //     encode-worker pipeline against the inline-encode baseline (the
@@ -70,10 +70,13 @@ type DatapathAllocRow struct {
 	Note        string
 }
 
-// DatapathResult is the full datapath report.
+// DatapathResult is the full datapath report. Ingest is the server half of
+// the wire-speed datapath — the saturated decode-lane run — committed to
+// the same BENCH_datapath.json so both lanes' trajectories live together.
 type DatapathResult struct {
 	Allocs   []DatapathAllocRow
 	Variants []DatapathVariantRow
+	Ingest   *IngestResult
 }
 
 // measureAllocs runs f ops times on one OS thread and returns the
@@ -164,7 +167,7 @@ func datapathAllocs(s Scale) []DatapathAllocRow {
 		{Loop: "encode", AllocsPerOp: encA, BytesPerOp: encB, Ops: ops,
 			Note: "segment marshal + codec frame through pooled buffers (must be 0)"},
 		{Loop: "decode", AllocsPerOp: decA, BytesPerOp: decB, Ops: ops,
-			Note: "codec inflate into pooled buffer; residue is compress/flate rebuilding dynamic-Huffman tables per block (stdlib)"},
+			Note: "codec inflate into pooled buffer via the in-house inflater; tables rebuilt in place (must be 0)"},
 		{Loop: "ingest", AllocsPerOp: ingA, BytesPerOp: ingB, Ops: ops,
 			Note: "full store ingest; retains pages and grows indexes by design"},
 	}
@@ -218,8 +221,9 @@ func datapathVariant(s Scale, devices int, name string, encodeWorkers int) (Data
 	return row, nil
 }
 
-// Datapath runs the allocation loops and both pipeline variants.
-func Datapath(s Scale, devices int) (*DatapathResult, error) {
+// Datapath runs the allocation loops, both pipeline variants, and the
+// server-side saturated ingest run over ingestDevices sessions.
+func Datapath(s Scale, devices, ingestDevices int) (*DatapathResult, error) {
 	s = fleetScale(s)
 	res := &DatapathResult{}
 	// Alloc loops first: nothing else is running, so the allocator
@@ -234,6 +238,10 @@ func Datapath(s Scale, devices int) (*DatapathResult, error) {
 		return nil, fmt.Errorf("datapath inline baseline: %w", err)
 	}
 	res.Variants = []DatapathVariantRow{workers, inline}
+	res.Ingest, err = Ingest(s, ingestDevices)
+	if err != nil {
+		return nil, fmt.Errorf("datapath ingest: %w", err)
+	}
 	return res, nil
 }
 
@@ -259,6 +267,9 @@ func RenderDatapath(res *DatapathResult) string {
 				"encode workers vs inline baseline (same run): %.3fx segs/s simulated, %.3fx host batch latency\n",
 				w.SimSegsPerSec/i.SimSegsPerSec, w.MeanLatUs/i.MeanLatUs)
 		}
+	}
+	if res.Ingest != nil {
+		out += RenderIngest(res.Ingest)
 	}
 	return out
 }

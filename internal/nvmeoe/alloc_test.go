@@ -44,9 +44,43 @@ func TestCodecSteadyStateAllocs(t *testing.T) {
 	if bufpool.RaceEnabled {
 		t.Skip("race instrumentation allocates; alloc assertions run in the non-race job")
 	}
-	seg := testSegment(t, bytes.Repeat([]byte("hot loop page "), 512))
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		// Repetitive pages: short Huffman codes, the easy case.
+		{"repetitive", bytes.Repeat([]byte("hot loop page "), 512)},
+		// Varied pages: dynamic-Huffman blocks with >9-bit codes — the case
+		// where stdlib flate allocates link tables per block and the
+		// in-house inflater must not.
+		{"varied", variedPage(16 << 10)},
+	} {
+		t.Run(tc.name, func(t *testing.T) { codecSteadyStateAllocs(t, tc.data) })
+	}
+}
+
+// variedPage builds page content with a wide, skewed byte distribution: it
+// deflates well past the stored threshold but forces long dynamic-Huffman
+// codes.
+func variedPage(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		if i%4 == 0 {
+			b[i] = byte((i * 2654435761) >> 16)
+		} else {
+			b[i] = byte('a' + i%29)
+		}
+	}
+	return b
+}
+
+func codecSteadyStateAllocs(t *testing.T, data []byte) {
+	seg := testSegment(t, data)
 	raw := seg.Marshal()
 	blob := EncodeSegmentBlob(raw)
+	if Codec(blob[4]) != CodecDeflate {
+		t.Fatalf("payload picked codec %v; this test wants the deflate path", Codec(blob[4]))
+	}
 
 	scratch := bufpool.Get(2 * len(raw))
 	defer scratch.Release()

@@ -24,10 +24,17 @@ type Codec uint8
 
 // Segment-blob codecs.
 const (
-	// CodecNone stores the segment marshal verbatim (incompressible data).
+	// CodecNone stores the segment marshal verbatim. Written by encoders
+	// that predate CodecStored; still decoded, no longer produced.
 	CodecNone Codec = 0
 	// CodecDeflate stores the segment marshal DEFLATE-compressed.
 	CodecDeflate Codec = 1
+	// CodecStored stores the segment marshal verbatim: the stored-block
+	// fast path for barely-compressible pages. The encoder picks it when
+	// deflate saves less than 1/16th of the raw size — at that ratio the
+	// wire win cannot pay for inflating on every ingest, restore, and
+	// recovery read, so decode becomes a pure copy instead.
+	CodecStored Codec = 2
 )
 
 func (c Codec) String() string {
@@ -36,10 +43,16 @@ func (c Codec) String() string {
 		return "none"
 	case CodecDeflate:
 		return "deflate"
+	case CodecStored:
+		return "stored"
 	default:
 		return fmt.Sprintf("Codec(%d)", uint8(c))
 	}
 }
+
+// storedSavingShift sets the deflate-versus-stored break-even: compression
+// must save at least raw>>storedSavingShift (1/16th) or the blob is stored.
+const storedSavingShift = 4
 
 // blob header layout: magic(4) codec(1) rawLen(4) = 9 bytes.
 const (
@@ -72,8 +85,10 @@ func AppendSegmentBlob(dst, raw []byte) []byte {
 	dst = append(dst, hdr[:]...)
 	codec := CodecDeflate
 	out, ok := AppendDeflate(dst, raw)
-	if !ok {
-		codec = CodecNone
+	if !ok || len(raw)-(len(out)-len(dst)) < len(raw)>>storedSavingShift {
+		// Deflate failed to shrink, or shrank by less than 1/16th: take the
+		// stored fast path so every downstream decode is a straight copy.
+		codec = CodecStored
 		out = append(dst, raw...)
 	}
 	binary.LittleEndian.PutUint32(out[base:], blobMagic)
@@ -92,7 +107,7 @@ func DecodeSegmentBlob(blob []byte) ([]byte, error) {
 	if !IsSegmentBlob(blob) {
 		return blob, nil
 	}
-	if Codec(blob[4]) == CodecNone {
+	if c := Codec(blob[4]); c == CodecNone || c == CodecStored {
 		body := blob[blobHeaderSize:]
 		if rawLen := binary.LittleEndian.Uint32(blob[5:]); uint32(len(body)) != rawLen {
 			return nil, fmt.Errorf("%w: raw length %d, header says %d", ErrBadBlob, len(body), rawLen)
@@ -115,7 +130,7 @@ func AppendDecodeSegmentBlob(dst, blob []byte) ([]byte, error) {
 	rawLen := binary.LittleEndian.Uint32(blob[5:])
 	body := blob[blobHeaderSize:]
 	switch codec {
-	case CodecNone:
+	case CodecNone, CodecStored:
 		if uint32(len(body)) != rawLen {
 			return nil, fmt.Errorf("%w: raw length %d, header says %d", ErrBadBlob, len(body), rawLen)
 		}

@@ -46,12 +46,75 @@ func TestSegmentBlobRoundTripIncompressible(t *testing.T) {
 	rand.Read(data)
 	raw := testSegment(t, data).Marshal()
 	blob := EncodeSegmentBlob(raw)
-	if Codec(blob[4]) != CodecNone {
-		t.Fatalf("random data picked codec %v, want none", Codec(blob[4]))
+	if Codec(blob[4]) != CodecStored {
+		t.Fatalf("random data picked codec %v, want stored", Codec(blob[4]))
 	}
 	got, err := DecodeSegmentBlob(blob)
 	if err != nil || !bytes.Equal(got, raw) {
 		t.Fatalf("round trip: %v", err)
+	}
+	// The append-style decode must copy, not alias, the stored body.
+	dec, err := AppendDecodeSegmentBlob(nil, blob)
+	if err != nil || !bytes.Equal(dec, raw) {
+		t.Fatalf("append decode: %v", err)
+	}
+	if &dec[0] == &blob[blobHeaderSize] {
+		t.Fatal("AppendDecodeSegmentBlob aliased the stored body")
+	}
+}
+
+// TestSegmentBlobStoredThreshold pins the deflate-versus-stored policy:
+// compression that saves less than 1/16th of the raw size is not worth a
+// per-ingest inflate, so such blobs take the stored fast path; anything
+// saving more stays deflated.
+func TestSegmentBlobStoredThreshold(t *testing.T) {
+	// Random pages barely compress (the marshal framing shaves a little,
+	// far under 1/16th) — must be stored.
+	data := make([]byte, 16384)
+	rand.Read(data)
+	barely := testSegment(t, data).Marshal()
+	if comp, ok := Deflate(barely); ok {
+		if saving := len(barely) - len(comp); saving >= len(barely)>>storedSavingShift {
+			t.Skipf("random payload compressed too well to exercise the threshold (saved %d)", saving)
+		}
+	}
+	blob := EncodeSegmentBlob(barely)
+	if Codec(blob[4]) != CodecStored {
+		t.Fatalf("barely-compressible blob picked %v, want stored", Codec(blob[4]))
+	}
+	if len(blob) != BlobOverhead+len(barely) {
+		t.Fatalf("stored blob is %d bytes, want raw+overhead %d", len(blob), BlobOverhead+len(barely))
+	}
+
+	// Repetitive pages compress far past the threshold — must stay deflate.
+	wellBlob := EncodeSegmentBlob(testSegment(t, bytes.Repeat([]byte("page "), 1600)).Marshal())
+	if Codec(wellBlob[4]) != CodecDeflate {
+		t.Fatalf("compressible blob picked %v, want deflate", Codec(wellBlob[4]))
+	}
+}
+
+// TestDecodeSegmentBlobCodecNoneCompat: stores written before CodecStored
+// carry CodecNone frames; both decode entry points must keep reading them.
+func TestDecodeSegmentBlobCodecNoneCompat(t *testing.T) {
+	raw := testSegment(t, []byte("pre-stored era page")).Marshal()
+	blob := make([]byte, 0, BlobOverhead+len(raw))
+	blob = append(blob, 0x52, 0x53, 0x53, 0x43) // blobMagic, little-endian
+	blob = append(blob, byte(CodecNone))
+	blob = append(blob, byte(len(raw)), byte(len(raw)>>8), byte(len(raw)>>16), byte(len(raw)>>24))
+	blob = append(blob, raw...)
+	if !IsSegmentBlob(blob) {
+		t.Fatal("hand-built CodecNone blob not recognized")
+	}
+	got, err := DecodeSegmentBlob(blob)
+	if err != nil || !bytes.Equal(got, raw) {
+		t.Fatalf("CodecNone decode: %v", err)
+	}
+	app, err := AppendDecodeSegmentBlob(nil, blob)
+	if err != nil || !bytes.Equal(app, raw) {
+		t.Fatalf("CodecNone append decode: %v", err)
+	}
+	if SegmentBlobLogicalSize(blob) != len(raw) {
+		t.Fatalf("logical size %d, want %d", SegmentBlobLogicalSize(blob), len(raw))
 	}
 }
 

@@ -20,18 +20,25 @@ const (
 )
 
 // Server accepts NVMe-oE sessions from devices and serves the Store. Every
-// connection gets its own goroutine, and because the Store's indexes are
-// sharded per device, sessions make progress independently — the server is
-// the fan-in point of the fleet, not a serialization point.
+// connection gets its own goroutine; segment pushes are handed to the
+// shared decode lane (see ingest.go) so connection goroutines stay on the
+// wire, and because the Store's indexes are sharded per device, sessions
+// make progress independently — the server is the fan-in point of the
+// fleet, not a serialization point.
 type Server struct {
 	Store *Store
 	// LookupPSK maps an enrolled device ID to its pre-shared key.
 	LookupPSK func(deviceID uint64) ([]byte, bool)
+	// Config tunes the ingest path (decode lane sizing). Set it before the
+	// first connection is served.
+	Config ServerConfig
 
 	mu            sync.Mutex
 	conns         map[net.Conn]uint64 // active session -> device ID
 	sessionsTotal uint64
 	recStats      map[uint64]*RecoveryStats
+	ingest        map[uint64]*ingestLedger
+	lane          *decodeLane // running decode lane, nil when no session holds it
 }
 
 // RecoveryStats ledgers what the server served one device during restore:
@@ -165,6 +172,10 @@ func (s *Server) HandleConn(nc net.Conn) {
 		return
 	}
 	defer s.track(nc, deviceID)()
+	ss := newSession(s, nc, conn, deviceID)
+	ss.lane = s.acquireLane()
+	defer s.releaseLane(ss.lane)
+	defer ss.waitIdle() // flush in-flight decode jobs before closing nc
 	for {
 		typ, body, err := conn.ReadMsg()
 		if err != nil {
@@ -176,58 +187,50 @@ func (s *Server) HandleConn(nc net.Conn) {
 			}
 			return
 		}
-		if err := s.dispatch(conn, deviceID, typ, body); err != nil {
+		if err := s.dispatch(ss, typ, body); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(conn *nvmeoe.Conn, deviceID uint64, typ nvmeoe.MsgType, body []byte) error {
+func (s *Server) dispatch(ss *session, typ nvmeoe.MsgType, body []byte) error {
 	switch typ {
 	case nvmeoe.MsgSegment:
 		// The payload is the codec-framed segment blob (or a bare marshal
-		// from a pre-codec device). Decode to verify, but persist the wire
-		// bytes as received: compressed on the wire is compressed at rest,
-		// and the server never re-compresses.
-		raw, err := nvmeoe.DecodeSegmentBlob(body)
-		if err != nil {
-			return sendErr(conn, CodeBadData, err)
+		// from a pre-codec device). Hand it to the decode lane and return
+		// to the wire: the worker decodes, verifies, appends, and acks.
+		// body is private to this ReadMsg, so the handoff is safe.
+		if ss.lane != nil {
+			ss.begin()
+			ss.lane.enqueue(ss, body)
+			return nil
 		}
-		seg, err := oplog.UnmarshalSegment(raw)
-		if err != nil {
-			return sendErr(conn, CodeBadData, err)
-		}
-		if seg.DeviceID != deviceID {
-			return sendErr(conn, CodeBadData, fmt.Errorf("segment for device %d on session of device %d", seg.DeviceID, deviceID))
-		}
-		if err := s.Store.AppendSegmentBlob(seg, body); err != nil {
-			return sendErr(conn, CodeBadData, err)
-		}
-		// The ack carries the tier's modeled service time for this blob, so
-		// the device's ack-latency model reflects the backend (s3sim's Put
-		// latency), not just the NVMe-oE wire.
-		ack := nvmeoe.Ack{UpTo: seg.LastSeq, SvcNs: uint64(s.Store.PutServiceTime(len(body)))}
-		return conn.WriteMsg(nvmeoe.MsgSegmentAck, ack.Marshal())
+		ss.ingestSegment(body) // inline baseline (DecodeWorkers < 0)
+		return nil
 
 	case nvmeoe.MsgCheckpoint:
+		// Non-segment messages barrier on the lane so everything the wire
+		// ordered before them is ingested first.
+		ss.waitIdle()
 		cp, err := nvmeoe.UnmarshalCheckpoint(body)
 		if err != nil {
-			return sendErr(conn, CodeBadData, err)
+			return ss.sendErr(CodeBadData, err)
 		}
-		if err := s.Store.AppendCheckpoint(deviceID, cp); err != nil {
-			return sendErr(conn, CodeInternal, err)
+		if err := s.Store.AppendCheckpoint(ss.deviceID, cp); err != nil {
+			return ss.sendErr(CodeInternal, err)
 		}
-		return conn.WriteMsg(nvmeoe.MsgCheckpointAck, (&nvmeoe.Ack{UpTo: cp.Seq}).Marshal())
+		return ss.writeMsg(nvmeoe.MsgCheckpointAck, (&nvmeoe.Ack{UpTo: cp.Seq}).Marshal())
 
 	case nvmeoe.MsgFetch:
+		ss.waitIdle()
 		req, err := nvmeoe.UnmarshalFetchReq(body)
 		if err != nil {
-			return sendErr(conn, CodeBadData, err)
+			return ss.sendErr(CodeBadData, err)
 		}
-		return s.serveFetch(conn, deviceID, req)
+		return s.serveFetch(ss, req)
 
 	default:
-		return sendErr(conn, CodeBadData, fmt.Errorf("unexpected message type %v", typ))
+		return ss.sendErr(CodeBadData, fmt.Errorf("unexpected message type %v", typ))
 	}
 }
 
@@ -237,25 +240,26 @@ func (s *Server) dispatch(conn *nvmeoe.Conn, deviceID uint64, typ nvmeoe.MsgType
 // responses shipped uncompressed while only the frame-level deflate
 // helped them is closed here, and clients decode transparently. Head
 // replies stay bare: 40 bytes gains nothing from a 9-byte codec header.
-func (s *Server) serveFetch(conn *nvmeoe.Conn, deviceID uint64, req nvmeoe.FetchReq) error {
+func (s *Server) serveFetch(ss *session, req nvmeoe.FetchReq) error {
+	deviceID := ss.deviceID
 	switch req.Kind {
 	case nvmeoe.FetchEntries:
 		seg := &oplog.Segment{DeviceID: deviceID, Entries: s.Store.Entries(deviceID, req.From, req.To)}
-		return conn.WriteMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(seg.Marshal()))
+		return ss.writeMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(seg.Marshal()))
 	case nvmeoe.FetchVersion:
 		seg := &oplog.Segment{DeviceID: deviceID}
 		if rec, ok := s.Store.Version(deviceID, req.LPN, req.Before); ok {
 			seg.Pages = []oplog.PageRecord{rec}
 		}
-		return conn.WriteMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(seg.Marshal()))
+		return ss.writeMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(seg.Marshal()))
 	case nvmeoe.FetchImage:
 		// Compatibility shim: the monolithic image reply predates the
 		// streamed restore path and survives for old tooling; new restores
 		// go through FetchImageStream.
 		seg := &oplog.Segment{DeviceID: deviceID, Pages: s.Store.Image(deviceID, req.Before)}
-		return conn.WriteMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(seg.Marshal()))
+		return ss.writeMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(seg.Marshal()))
 	case nvmeoe.FetchImageStream:
-		return s.serveImageStream(conn, deviceID, req)
+		return s.serveImageStream(ss, req)
 	case nvmeoe.FetchRange:
 		var pages []oplog.PageRecord
 		for from := req.From; ; {
@@ -274,18 +278,18 @@ func (s *Server) serveFetch(conn *nvmeoe.Conn, deviceID uint64, req nvmeoe.Fetch
 			BytesWire:    uint64(len(blob)),
 			BytesLogical: uint64(nvmeoe.SegmentBlobLogicalSize(blob)),
 		})
-		return conn.WriteMsg(nvmeoe.MsgFetchResp, blob)
+		return ss.writeMsg(nvmeoe.MsgFetchResp, blob)
 	case nvmeoe.FetchCheckpoint:
 		cp, ok := s.Store.Checkpoint(deviceID, req.Before)
 		if !ok {
-			return sendErr(conn, CodeNotFound, errors.New("no checkpoint"))
+			return ss.sendErr(CodeNotFound, errors.New("no checkpoint"))
 		}
-		return conn.WriteMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(cp.Marshal()))
+		return ss.writeMsg(nvmeoe.MsgFetchResp, nvmeoe.EncodeSegmentBlob(cp.Marshal()))
 	case nvmeoe.FetchHead:
 		h := s.Store.Head(deviceID)
-		return conn.WriteMsg(nvmeoe.MsgFetchResp, h.Marshal())
+		return ss.writeMsg(nvmeoe.MsgFetchResp, h.Marshal())
 	default:
-		return sendErr(conn, CodeBadData, fmt.Errorf("unknown fetch kind %d", req.Kind))
+		return ss.sendErr(CodeBadData, fmt.Errorf("unknown fetch kind %d", req.Kind))
 	}
 }
 
@@ -296,7 +300,8 @@ func (s *Server) serveFetch(conn *nvmeoe.Conn, deviceID uint64, req nvmeoe.Fetch
 // own restore is running are served by later chunks instead of silently
 // missed. A stream opened with From > 0 is a resume: the device already
 // applied everything below From and the server just continues from there.
-func (s *Server) serveImageStream(conn *nvmeoe.Conn, deviceID uint64, req nvmeoe.FetchReq) error {
+func (s *Server) serveImageStream(ss *session, req nvmeoe.FetchReq) error {
+	deviceID := ss.deviceID
 	chunkPages := int(req.ChunkPages)
 	if chunkPages <= 0 {
 		chunkPages = DefaultRecoveryChunkPages
@@ -315,7 +320,7 @@ func (s *Server) serveImageStream(conn *nvmeoe.Conn, deviceID uint64, req nvmeoe
 		if len(pages) > 0 {
 			seg := &oplog.Segment{DeviceID: deviceID, Pages: pages}
 			blob := nvmeoe.EncodeSegmentBlob(seg.Marshal())
-			if err := conn.WriteMsg(nvmeoe.MsgFetchChunk, blob); err != nil {
+			if err := ss.writeMsg(nvmeoe.MsgFetchChunk, blob); err != nil {
 				s.addRecovery(deviceID, delta)
 				return err
 			}
@@ -333,11 +338,7 @@ func (s *Server) serveImageStream(conn *nvmeoe.Conn, deviceID uint64, req nvmeoe
 		from = next
 	}
 	s.addRecovery(deviceID, delta)
-	return conn.WriteMsg(nvmeoe.MsgFetchEnd, end.Marshal())
-}
-
-func sendErr(conn *nvmeoe.Conn, code uint32, err error) error {
-	return conn.WriteMsg(nvmeoe.MsgError, (&nvmeoe.ErrorMsg{Code: code, Text: err.Error()}).Marshal())
+	return ss.writeMsg(nvmeoe.MsgFetchEnd, end.Marshal())
 }
 
 // Client is the device-side handle to a remote server session. Calls are

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
 	"repro/internal/simclock"
@@ -50,6 +52,10 @@ type deviceLog struct {
 	// wire/at-rest compression the retention budget is sized with.
 	bytesLogical int64
 	bytesStored  int64
+	// subNanos is wall time spent in subscribers (streaming detection) for
+	// this device's ingested segments — the server's IngestStats surfaces
+	// it as DetectTime.
+	subNanos int64
 }
 
 // NewStore returns a Store persisting blobs to the given object store.
@@ -157,13 +163,29 @@ func (s *Store) AppendSegmentBlob(seg *oplog.Segment, blob []byte) error {
 	subs := s.subs
 	cb := s.OnSegment
 	s.mu.RUnlock()
-	if cb != nil {
-		cb(seg.DeviceID, seg)
-	}
-	for _, fn := range subs {
-		fn(seg.DeviceID, seg)
+	if cb != nil || len(subs) > 0 {
+		t0 := time.Now()
+		if cb != nil {
+			cb(seg.DeviceID, seg)
+		}
+		for _, fn := range subs {
+			fn(seg.DeviceID, seg)
+		}
+		d.subNanos += time.Since(t0).Nanoseconds()
 	}
 	return nil
+}
+
+// SubscriberTime returns the wall time ingest has spent inside subscribers
+// (the streaming detection pipeline) for one device.
+func (s *Store) SubscriberTime(deviceID uint64) time.Duration {
+	d, ok := s.lookup(deviceID)
+	if !ok {
+		return 0
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return time.Duration(d.subNanos)
 }
 
 // insertVersion keeps the per-LPN version list sorted by WriteSeq.
@@ -460,11 +482,17 @@ func (s *Store) FetchSegment(deviceID uint64, i int) (*oplog.Segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	raw, err := nvmeoe.DecodeSegmentBlob(blob)
+	// Decode into a pooled buffer sized by the blob's logical-size header:
+	// the marshal is transient (UnmarshalSegment copies what it keeps), so
+	// the cold path stops double-allocating it.
+	buf := bufpool.Get(nvmeoe.SegmentBlobLogicalSize(blob))
+	raw, err := nvmeoe.AppendDecodeSegmentBlob(buf.B, blob)
 	if err != nil {
+		buf.Release()
 		return nil, fmt.Errorf("remote: fetch %s: %w", key, err)
 	}
 	seg, err := oplog.UnmarshalSegment(raw)
+	buf.Release()
 	if err != nil {
 		return nil, fmt.Errorf("remote: fetch %s: %w", key, err)
 	}
@@ -509,12 +537,19 @@ func (s *Store) Reload() error {
 			}
 			// Blobs land in whatever frame the wire carried: codec-framed
 			// (possibly compressed) since the compressed offload wire, bare
-			// marshals before it. Decode handles both.
-			raw, err := nvmeoe.DecodeSegmentBlob(blob)
+			// marshals before it. Decode handles both, through a pooled
+			// buffer reused across the whole rebuild — the marshal is
+			// transient (UnmarshalSegment copies what it keeps), so a
+			// fleet-sized reload no longer allocates one per segment.
+			buf := bufpool.Get(nvmeoe.SegmentBlobLogicalSize(blob))
+			raw, err := nvmeoe.AppendDecodeSegmentBlob(buf.B, blob)
 			if err != nil {
+				buf.Release()
 				return fmt.Errorf("remote: reload %s: %w", key, err)
 			}
+			logical := len(raw)
 			seg, err := oplog.UnmarshalSegment(raw)
+			buf.Release()
 			if err != nil {
 				return fmt.Errorf("remote: reload %s: %w", key, err)
 			}
@@ -538,7 +573,7 @@ func (s *Store) Reload() error {
 				d.pageBytes += int64(len(p.Data))
 			}
 			d.segKeys = append(d.segKeys, key)
-			d.bytesLogical += int64(len(raw))
+			d.bytesLogical += int64(logical)
 			d.bytesStored += int64(len(blob))
 			continue
 		}
