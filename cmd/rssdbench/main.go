@@ -12,14 +12,17 @@
 //	rssdbench -exp detection      # detection coverage/latency, six variants
 //	rssdbench -exp attacks        # Ransomware 2.0 validation vs. LocalSSD
 //	rssdbench -exp batch          # batched vs per-op datapath replay
-//	rssdbench -exp fleet          # N devices, one server: async offload + streaming detection
+//	rssdbench -exp fleet          # N devices: async offload + streaming detection; -servers M
+//	                              # adds the cluster control plane (placement, failover, scaling)
 //	rssdbench -exp retention      # storage tiers: local server vs modeled S3 (capacity/latency/cost)
 //	rssdbench -exp recovery       # fleet power-cycle: attack -> detect -> N concurrent streamed restores
 //	rssdbench -exp datapath       # allocation-tracked hot loops + encode-worker vs inline-encode replay
 //	rssdbench -exp ingest         # server decode lane: saturated multi-session ingest vs modeled NIC
 //
 // -scale small uses the test-sized configuration for a quick pass, and
-// -short shrinks further to the CI smoke size (small scale, 2 devices).
+// -short shrinks further to the CI smoke size (small scale, 2 devices —
+// an explicitly-set -devices is honored). -servers selects the ingest
+// server count for -exp fleet and is rejected elsewhere.
 // -backend selects the storage tier(s) for -exp retention: mem, dir,
 // s3sim, a comma-separated list, or all.
 // -json additionally writes each experiment's rows to BENCH_<name>.json
@@ -54,11 +57,29 @@ func run() int {
 	scaleFlag := flag.String("scale", "full", "experiment scale (full, small)")
 	jsonOut := flag.Bool("json", false, "write machine-readable BENCH_<name>.json per experiment")
 	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet, retention, recovery, and ingest")
+	fleetServers := flag.Int("servers", 1, "ingest server count for -exp fleet (>1 runs the cluster control plane: consistent-hash placement, injected failover, scaling curve)")
 	backendFlag := flag.String("backend", "all", "storage tier(s) for -exp retention: mem, dir, s3sim, a comma list, or all")
-	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices")
+	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices (explicit -devices wins)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	// -servers is a fleet-experiment knob; like an unknown -exp it is
+	// rejected early — with the list of experiments that support it —
+	// rather than silently ignored for an hour-long run.
+	serverExps := []string{"fleet"}
+	if explicit["servers"] && !slices.Contains(serverExps, *exp) {
+		fmt.Fprintf(os.Stderr, "-servers is not supported by -exp %s (supported: %s)\n",
+			*exp, strings.Join(serverExps, ", "))
+		return 2
+	}
+	if *fleetServers < 1 {
+		fmt.Fprintf(os.Stderr, "-servers %d: need at least 1\n", *fleetServers)
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -105,7 +126,9 @@ func run() int {
 	}
 	if *short {
 		s = experiment.SmallScale()
-		if *fleetDevices > 2 {
+		// An explicitly-set -devices survives -short: the CI cluster smoke
+		// runs `-exp fleet -devices 64 -servers 4 -short` and means it.
+		if *fleetDevices > 2 && !explicit["devices"] {
 			*fleetDevices = 2
 		}
 		*scaleFlag = "short" // label persisted JSON honestly
@@ -252,11 +275,16 @@ func run() int {
 	})
 
 	register("fleet", func() error {
-		res, err := experiment.Fleet(s, *fleetDevices)
+		res, err := experiment.Fleet(s, *fleetDevices, *fleetServers)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Fleet — %d devices, one server: async offload pipeline, sharded ingest, streaming detection\n", *fleetDevices)
+		if *fleetServers > 1 {
+			fmt.Printf("Fleet — %d devices over %d ingest servers: consistent-hash placement, injected failover, scaling curve\n",
+				*fleetDevices, *fleetServers)
+		} else {
+			fmt.Printf("Fleet — %d devices, one server: async offload pipeline, sharded ingest, streaming detection\n", *fleetDevices)
+		}
 		fmt.Print(experiment.RenderFleet(res))
 		return persist("fleet", res)
 	})

@@ -113,6 +113,7 @@ func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 		}
 		return at, nil
 	}
+	redialWaits := 0
 	for {
 		beforeRetained, beforeSeq, beforeRedials := len(r.retained), r.offloadedUpTo, r.stats.Redials
 		at = r.drainOffload(at)
@@ -136,6 +137,19 @@ func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 		}
 		if len(r.retained) == beforeRetained && r.offloadedUpTo == beforeSeq &&
 			r.stats.Redials == beforeRedials {
+			// No progress. If the session is dead and the next redial is
+			// merely scheduled in the future, an administrator-driven drain
+			// should wait out the backoff in simulated time rather than
+			// fail: this is the dial-factory path a server failover rides —
+			// the device sits out the outage, redials, and resumes on
+			// whatever server the factory now names. Bounded so a fleet
+			// with no live server still surfaces an error.
+			if r.sessionDead && r.cfg.Dial != nil && r.nextRedialAt > at && redialWaits < maxRedialWaits {
+				redialWaits++
+				r.stats.RedialWaitTime += r.nextRedialAt.Sub(at)
+				at = r.nextRedialAt
+				continue
+			}
 			// A full stage+drain round made no progress (a successful
 			// redial counts as progress — the next round ships on the new
 			// session): surface the error instead of spinning.
@@ -144,8 +158,15 @@ func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 			}
 			return at, fmt.Errorf("core: offload stalled with %d pages retained", len(r.retained))
 		}
+		redialWaits = 0
 	}
 }
+
+// maxRedialWaits bounds how many scheduled-backoff waits one OffloadNow
+// call will sit out before surfacing the dial error: at the capped
+// backoff this is plenty to ride through a failover, while a cluster with
+// no live servers still fails in bounded simulated time.
+const maxRedialWaits = 16
 
 // engineIdleHealthy reports whether entry-only staging may proceed (no
 // failure epoch pending a pipeline reset).

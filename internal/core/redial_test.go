@@ -288,3 +288,80 @@ func TestRedialWithoutDialFactory(t *testing.T) {
 		t.Fatalf("manual attach did not recover: %q", st.LastOffloadError)
 	}
 }
+
+// TestOffloadNowWaitsOutRedialBackoff: an administrator-driven drain that
+// hits a dead session with the next redial merely scheduled must wait out
+// the backoff in simulated time (Stats().RedialWaitTime) and finish on
+// the new session — the path a fleet server failover rides — while a
+// permanently unreachable server still surfaces an error in bounded
+// simulated time.
+func TestOffloadNowWaitsOutRedialBackoff(t *testing.T) {
+	cfg := testConfig()
+	cfg.DropWhenOffline = false
+	cfg.RedialBackoff = simclock.Millisecond
+	cfg.RedialBackoffMax = 4 * simclock.Millisecond
+	store := remote.NewStore(remote.NewMemStore())
+	srv := remote.NewServer(store, testPSK)
+	dials, failUntil := 0, 3
+	cfg.Dial = func() (*remote.Client, error) {
+		dials++
+		if dials <= failUntil {
+			return nil, errors.New("server rebooting")
+		}
+		return remote.Loopback(srv, testPSK, cfg.DeviceID)
+	}
+
+	broken, err := remote.Loopback(srv, testPSK, cfg.DeviceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Close()
+	r := New(cfg, broken)
+	defer r.Close()
+
+	at := churn(t, r, 4, 4, 0)
+	done, err := r.OffloadNow(at)
+	if err != nil {
+		t.Fatalf("OffloadNow failed instead of waiting out the backoff: %v", err)
+	}
+	st := r.Stats()
+	if st.Redials != 1 || st.RedialAttempts != uint64(failUntil)+1 {
+		t.Fatalf("redials/attempts = %d/%d, want 1/%d", st.Redials, st.RedialAttempts, failUntil+1)
+	}
+	if st.RedialWaitTime <= 0 {
+		t.Fatal("no simulated backoff wait was accounted")
+	}
+	if waited := done.Sub(at); waited < st.RedialWaitTime {
+		t.Fatalf("returned clock advanced %v, less than the %v waited", waited, st.RedialWaitTime)
+	}
+	if head := store.Head(cfg.DeviceID).NextSeq; head != r.Log().NextSeq() {
+		t.Fatalf("remote head %d, local log %d after the waited drain", head, r.Log().NextSeq())
+	}
+	if st.DroppedPages != 0 {
+		t.Fatalf("data dropped across the outage: %+v", st)
+	}
+
+	// A cluster with no live server must not wait forever: the drain
+	// fails after a bounded number of waited backoffs.
+	cfg2 := testConfig()
+	cfg2.DropWhenOffline = false
+	cfg2.RedialBackoff = simclock.Millisecond
+	cfg2.RedialBackoffMax = 4 * simclock.Millisecond
+	cfg2.Dial = func() (*remote.Client, error) {
+		return nil, errors.New("no live server")
+	}
+	broken2, err := remote.Loopback(srv, testPSK, cfg2.DeviceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken2.Close()
+	r2 := New(cfg2, broken2)
+	defer r2.Close()
+	at2 := churn(t, r2, 4, 4, 0)
+	if _, err := r2.OffloadNow(at2); err == nil {
+		t.Fatal("OffloadNow succeeded against a permanently dead cluster")
+	}
+	if w := r2.Stats().RedialWaitTime; w > simclock.Duration(maxRedialWaits)*cfg2.RedialBackoffMax {
+		t.Fatalf("waited %v, beyond the bounded schedule", w)
+	}
+}

@@ -180,6 +180,11 @@ type Stats struct {
 	// the reconcile step did NOT re-ship. A mid-batch disconnect between
 	// send and ack shows up here instead of as duplicate chain entries.
 	ResumeGap uint64
+	// RedialWaitTime is simulated time OffloadNow spent waiting out the
+	// redial backoff for a dead session — the device-observed outage cost
+	// of a server failover, as opposed to RedialAttempts which only counts
+	// the dials themselves.
+	RedialWaitTime simclock.Duration
 	// RestoreBytesWire / RestoreBytesLogical mirror the offload-side wire
 	// and logical counters for recovery traffic: image streams and range
 	// fetches ride the same segment codec as offload, and wire < logical

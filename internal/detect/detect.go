@@ -201,6 +201,37 @@ func (e *Engine) Reset(deviceID uint64) {
 	}
 }
 
+// Handoff moves one device's detection state — sliding window, recent-read
+// horizon, cumulative victim set, alert latch — from this engine to dst.
+// The fleet control plane calls it when failover or rebalancing moves a
+// device to a server with its own engine: detection must continue
+// mid-window at the new server, not restart from an empty state a slow
+// attacker could reset by riding out a server kill. The state moves by
+// pointer, so an in-flight Observe holding the device lock completes
+// before the new engine's first Observe takes it. A device never observed
+// here is a no-op; if dst somehow already has state for the device (a
+// stale double-move), dst's live state wins and the carried copy is
+// dropped.
+func (e *Engine) Handoff(deviceID uint64, dst *Engine) {
+	if dst == nil || dst == e {
+		return
+	}
+	sh := &e.shards[deviceID&(dirShards-1)]
+	sh.mu.Lock()
+	d, ok := sh.devices[deviceID]
+	delete(sh.devices, deviceID)
+	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	dsh := &dst.shards[deviceID&(dirShards-1)]
+	dsh.mu.Lock()
+	if _, exists := dsh.devices[deviceID]; !exists {
+		dsh.devices[deviceID] = d
+	}
+	dsh.mu.Unlock()
+}
+
 func (e *Engine) dev(id uint64) *devState {
 	sh := &e.shards[id&(dirShards-1)]
 	sh.mu.RLock()

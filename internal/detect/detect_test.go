@@ -281,3 +281,83 @@ func TestReadHorizonExpiry(t *testing.T) {
 		t.Fatal("stale read paired with overwrite")
 	}
 }
+
+// --- failover handoff ----------------------------------------------------
+
+// handoffTrace builds the cumulative-encryptor shape across n distinct
+// pages: read them all, then overwrite each with high-entropy data. Only
+// an engine that saw the reads counts the overwrites as victims.
+func handoffTrace(n int) []oplog.Entry {
+	l := oplog.New()
+	for i := 0; i < n; i++ {
+		l.Append(oplog.KindRead, simclock.Time(i), uint64(i), ftl.NoPPN, 1, 0, [32]byte{})
+	}
+	for i := 0; i < n; i++ {
+		l.Append(oplog.KindWrite, simclock.Time(n+i), uint64(i), 1, 2, 7.9, [32]byte{})
+	}
+	return l.All()
+}
+
+// TestHandoffPreservesDetectionContinuity is the failover-continuity
+// contract: a device moved between per-server engines mid-stream must keep
+// its recent-read horizon and cumulative victim set, so an attack split
+// across the move still alerts — and an engine that starts cold on the
+// same tail provably would not.
+func TestHandoffPreservesDetectionContinuity(t *testing.T) {
+	cfg := Config{
+		Window: 16, Threshold: 0.99, MinEvents: 4, ReadHorizon: 256,
+		CumulativeVictims: 12,
+		WeightEntropy:     0.4, WeightReadOW: 0.4, WeightTrim: 0.2,
+	}
+	trace := handoffTrace(16)
+	reads, cut := 16, 16+6 // move after 6 of 16 encrypting overwrites
+
+	// Control: an engine that only ever sees the post-move tail has no
+	// read horizon, pairs nothing, and stays silent.
+	cold := NewEngine(cfg)
+	cold.Observe(7, trace[cut:])
+	if got := cold.Alerts(); len(got) != 0 {
+		t.Fatalf("cold engine alerted on the tail alone: %v", got)
+	}
+
+	src, dst := NewEngine(cfg), NewEngine(cfg)
+	src.Observe(7, trace[:cut])
+	if len(src.Alerts()) != 0 {
+		t.Fatalf("alert before the victim threshold (%d victims)", cut-reads)
+	}
+	src.Handoff(7, dst)
+	dst.Observe(7, trace[cut:])
+	alerts := dst.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("handed-off device did not alert at the new engine: %v", alerts)
+	}
+	if !strings.Contains(alerts[0].Reasons[0], "cumulative") {
+		t.Fatalf("expected the carried victim set to fire, got %v", alerts[0].Reasons)
+	}
+	if len(src.Alerts()) != 0 {
+		t.Fatal("source engine alerted after handing the device away")
+	}
+}
+
+// TestHandoffCarriesAlertLatch: an already-alerted device stays latched at
+// its new engine — failover must not duplicate alerts.
+func TestHandoffCarriesAlertLatch(t *testing.T) {
+	cfg := Config{
+		Window: 16, Threshold: 0.99, MinEvents: 4, ReadHorizon: 256,
+		CumulativeVictims: 8,
+		WeightEntropy:     0.4, WeightReadOW: 0.4, WeightTrim: 0.2,
+	}
+	trace := handoffTrace(16)
+	src, dst := NewEngine(cfg), NewEngine(cfg)
+	src.Observe(9, trace)
+	if len(src.Alerts()) != 1 {
+		t.Fatalf("alerts = %v", src.Alerts())
+	}
+	src.Handoff(9, dst)
+	dst.Observe(9, handoffTrace(16)) // the attack continues after the move
+	if got := dst.Alerts(); len(got) != 0 {
+		t.Fatalf("latched device re-alerted after handoff: %v", got)
+	}
+	// A device the source never saw is a no-op handoff.
+	src.Handoff(424242, dst)
+}

@@ -89,10 +89,13 @@ type FleetSummary struct {
 	OverlapSpeedup float64 // SyncMeanLatUs / MeanLatUs
 }
 
-// FleetResult is the full fleet report.
+// FleetResult is the full fleet report. Cluster is set only on
+// multi-server runs (fleetcluster.go); per-device Rows are dropped past 64
+// devices to keep the committed report compact.
 type FleetResult struct {
-	Rows    []FleetDeviceRow
+	Rows    []FleetDeviceRow `json:",omitempty"`
 	Summary FleetSummary
+	Cluster *FleetClusterResult `json:",omitempty"`
 }
 
 // fleetPass is one fleet execution (async or baseline).
@@ -118,8 +121,18 @@ type fleetOpts struct {
 	tune     remote.BackendProfile
 }
 
-// Fleet runs the fleet scenario and its synchronous baseline.
-func Fleet(s Scale, devices int) (*FleetResult, error) {
+// Fleet runs the fleet scenario. With servers <= 1 it is the classic
+// single-server run plus its synchronous baseline; with more it becomes
+// the control-plane exercise — consistent-hash placement, an injected
+// server kill healed through the redial path, and the server-count
+// scaling curve (fleetcluster.go).
+func Fleet(s Scale, devices, servers int) (*FleetResult, error) {
+	if servers > 1 {
+		if devices <= 0 {
+			devices = 8
+		}
+		return fleetCluster(s, devices, servers)
+	}
 	s = fleetScale(s)
 	async, err := runFleet(s, devices, false, true)
 	if err != nil {
@@ -351,11 +364,21 @@ func RenderFleet(res *FleetResult) string {
 			r.AckLatUs, r.QueuePeak, r.Stalls, det, r.OpsToAlert, r.FalseAlerts)
 	}
 	s := res.Summary
-	return tb.String() + fmt.Sprintf(
+	out := ""
+	if len(res.Rows) > 0 {
+		out = tb.String()
+	}
+	out += fmt.Sprintf(
 		"fleet: %d devices (%d attacked, %d caught, %d false alerts), %d page ops in %.1f ms wall\n"+
-			"       %.0f page ops/s, %.0f segments/s ingested (%d segments)\n"+
-			"       host batch latency: async %.2f µs vs sync-offload baseline %.2f µs (%.2fx)\n",
+			"       %.0f page ops/s, %.0f segments/s ingested (%d segments)\n",
 		s.Devices, s.Attacked, s.Caught, s.FalseAlerts, s.PageOps, s.WallMs,
-		s.PageOpsPerSec, s.SegmentsPerSec, s.Segments,
-		s.MeanLatUs, s.SyncMeanLatUs, s.OverlapSpeedup)
+		s.PageOpsPerSec, s.SegmentsPerSec, s.Segments)
+	if res.Cluster == nil {
+		out += fmt.Sprintf(
+			"       host batch latency: async %.2f µs vs sync-offload baseline %.2f µs (%.2fx)\n",
+			s.MeanLatUs, s.SyncMeanLatUs, s.OverlapSpeedup)
+	} else {
+		out += RenderFleetCluster(res.Cluster)
+	}
+	return out
 }

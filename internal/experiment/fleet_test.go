@@ -8,7 +8,7 @@ import "testing"
 // benign traffic, and the async engine's host latency beating the
 // synchronous-offload baseline.
 func TestFleetScenario(t *testing.T) {
-	res, err := Fleet(SmallScale(), 8)
+	res, err := Fleet(SmallScale(), 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -83,6 +83,35 @@ func (s *Server) IngestStats(deviceID uint64) IngestStats {
 	return st
 }
 
+// IngestTotals sums the per-device ingest ledgers into one server-wide
+// view — the per-server row of the fleet scaling curve. DetectTime is
+// omitted (the store's subscriber ledger is per device across the whole
+// cluster, and a failed-over device would be double-counted); read it per
+// device via IngestStats instead.
+func (s *Server) IngestTotals() IngestStats {
+	s.mu.Lock()
+	ledgers := make([]*ingestLedger, 0, len(s.ingest))
+	for _, l := range s.ingest {
+		ledgers = append(ledgers, l)
+	}
+	s.mu.Unlock()
+	var tot IngestStats
+	for _, l := range ledgers {
+		l.mu.Lock()
+		st := l.st
+		l.mu.Unlock()
+		tot.Segments += st.Segments
+		tot.Errors += st.Errors
+		tot.BytesWire += st.BytesWire
+		tot.BytesLogical += st.BytesLogical
+		tot.DecodeTime += st.DecodeTime
+		if st.DecodeQueuePeak > tot.DecodeQueuePeak {
+			tot.DecodeQueuePeak = st.DecodeQueuePeak
+		}
+	}
+	return tot
+}
+
 // ledger returns (creating on first contact) the device's ingest ledger.
 func (s *Server) ledger(deviceID uint64) *ingestLedger {
 	s.mu.Lock()
@@ -218,10 +247,12 @@ func (ss *session) begin() int {
 	ss.pending++
 	p := ss.pending
 	ss.pendMu.Unlock()
+	ss.srv.noteQueue(1)
 	return p
 }
 
 func (ss *session) done() {
+	ss.srv.noteQueue(-1)
 	ss.pendMu.Lock()
 	ss.pending--
 	if ss.pending == 0 {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
@@ -35,10 +36,19 @@ type Server struct {
 
 	mu            sync.Mutex
 	conns         map[net.Conn]uint64 // active session -> device ID
+	closed        *sync.Cond          // broadcast when a session deregisters; lazily built under mu
 	sessionsTotal uint64
 	recStats      map[uint64]*RecoveryStats
 	ingest        map[uint64]*ingestLedger
 	lane          *decodeLane // running decode lane, nil when no session holds it
+
+	// Server-wide decode backlog (jobs enqueued to the lane, not yet fully
+	// ingested) and its peaks. queuePeak is the lifetime high-water mark;
+	// windowPeak resets on TakeQueuePeak, which is what the cluster's
+	// rebalancer samples per tick to spot a persistently hot server.
+	queueDepth atomic.Int64
+	queuePeak  atomic.Int64
+	windowPeak atomic.Int64
 }
 
 // RecoveryStats ledgers what the server served one device during restore:
@@ -131,19 +141,59 @@ func (s *Server) SessionsTotal() uint64 {
 	return s.sessionsTotal
 }
 
-// Close terminates every active session; devices see a transport error
-// and requeue their in-flight segments. Close is a drain, not a shutdown
-// latch: connections accepted afterwards are served normally.
+// Close terminates every active session and waits for their teardown to
+// finish — including the decode-lane idle barrier each session runs on its
+// way out — so when Close returns, every segment that was in flight is
+// either fully applied (decoded, chain-verified, appended, subscribers
+// run) or never entered the store; nothing is half-applied. Devices see a
+// transport error and requeue their unacked segments. Close is a drain,
+// not a shutdown latch: connections accepted afterwards are served
+// normally.
 func (s *Server) Close() {
+	s.closeConns(func(uint64) bool { return true })
+}
+
+// CloseDevice terminates (and drains, like Close) only the sessions of one
+// device — how the cluster evicts a device from a live server during
+// rebalancing so it redials to its new owner.
+func (s *Server) CloseDevice(deviceID uint64) {
+	s.closeConns(func(dev uint64) bool { return dev == deviceID })
+}
+
+// closeConns closes every tracked session matching the predicate and
+// blocks until those sessions deregister. Closing the conn errors any
+// lane worker blocked writing an ack into it, so the per-session
+// waitIdle barrier (which runs before deregistration) cannot wedge.
+func (s *Server) closeConns(match func(deviceID uint64) bool) {
 	s.mu.Lock()
-	conns := make([]net.Conn, 0, len(s.conns))
-	for nc := range s.conns {
-		conns = append(conns, nc)
+	if s.closed == nil {
+		s.closed = sync.NewCond(&s.mu)
+	}
+	targets := make([]net.Conn, 0, len(s.conns))
+	for nc, dev := range s.conns {
+		if match(dev) {
+			targets = append(targets, nc)
+		}
 	}
 	s.mu.Unlock()
-	for _, nc := range conns {
+	for _, nc := range targets {
 		nc.Close()
 	}
+	s.mu.Lock()
+	for {
+		live := false
+		for _, nc := range targets {
+			if _, ok := s.conns[nc]; ok {
+				live = true
+				break
+			}
+		}
+		if !live {
+			break
+		}
+		s.closed.Wait()
+	}
+	s.mu.Unlock()
 }
 
 // track registers an authenticated session, returning its deregister.
@@ -158,8 +208,43 @@ func (s *Server) track(nc net.Conn, deviceID uint64) func() {
 	return func() {
 		s.mu.Lock()
 		delete(s.conns, nc)
+		if s.closed != nil {
+			s.closed.Broadcast() // a draining Close may be waiting on us
+		}
 		s.mu.Unlock()
 	}
+}
+
+// noteQueue adjusts the server-wide decode backlog and, on growth, the
+// peak ledgers.
+func (s *Server) noteQueue(delta int64) {
+	d := s.queueDepth.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		p := s.queuePeak.Load()
+		if d <= p || s.queuePeak.CompareAndSwap(p, d) {
+			break
+		}
+	}
+	for {
+		p := s.windowPeak.Load()
+		if d <= p || s.windowPeak.CompareAndSwap(p, d) {
+			break
+		}
+	}
+}
+
+// QueuePeak returns the lifetime peak of the server-wide decode backlog.
+func (s *Server) QueuePeak() int { return int(s.queuePeak.Load()) }
+
+// TakeQueuePeak returns the decode-backlog peak since the previous call
+// and resets the window to the current depth — the skew signal the
+// cluster's rebalancer compares across servers each tick.
+func (s *Server) TakeQueuePeak() int {
+	p := s.windowPeak.Swap(s.queueDepth.Load())
+	return int(p)
 }
 
 // HandleConn authenticates one device connection and serves its requests
