@@ -16,17 +16,21 @@
 //	                              # adds the cluster control plane (placement, failover, scaling)
 //	rssdbench -exp retention      # storage tiers: local server vs modeled S3 (capacity/latency/cost)
 //	rssdbench -exp recovery       # fleet power-cycle: attack -> detect -> N concurrent streamed restores
+//	rssdbench -exp dedup          # content-addressed restore: dedup+delta vs full-image, scaling curve
 //	rssdbench -exp datapath       # allocation-tracked hot loops + encode-worker vs inline-encode replay
 //	rssdbench -exp ingest         # server decode lane: saturated multi-session ingest vs modeled NIC
 //
 // -scale small uses the test-sized configuration for a quick pass, and
 // -short shrinks further to the CI smoke size (small scale, 2 devices —
 // an explicitly-set -devices is honored). -servers selects the ingest
-// server count for -exp fleet and is rejected elsewhere.
+// server count for -exp fleet and is rejected elsewhere. -dedup toggles
+// the content-addressed restore path for -exp recovery (on by default).
 // -backend selects the storage tier(s) for -exp retention: mem, dir,
 // s3sim, a comma-separated list, or all.
 // -json additionally writes each experiment's rows to BENCH_<name>.json
-// so successive runs can be diffed to track the performance trajectory.
+// (with the resolved flag set echoed in the header, so every bench file
+// is self-describing) so successive runs can be diffed to track the
+// performance trajectory.
 // -cpuprofile and -memprofile write runtime/pprof profiles covering the
 // selected experiments, so perf work can show before/after flame graphs.
 // An unknown -exp value is rejected with the list of registered
@@ -59,6 +63,7 @@ func run() int {
 	fleetDevices := flag.Int("devices", 8, "device count for -exp fleet, retention, recovery, and ingest")
 	fleetServers := flag.Int("servers", 1, "ingest server count for -exp fleet (>1 runs the cluster control plane: consistent-hash placement, injected failover, scaling curve)")
 	backendFlag := flag.String("backend", "all", "storage tier(s) for -exp retention: mem, dir, s3sim, a comma list, or all")
+	dedupFlag := flag.Bool("dedup", true, "content-addressed restore (hash-ref chunks + checkpoint-anchored delta) for -exp recovery")
 	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices (explicit -devices wins)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
@@ -74,6 +79,15 @@ func run() int {
 	if explicit["servers"] && !slices.Contains(serverExps, *exp) {
 		fmt.Fprintf(os.Stderr, "-servers is not supported by -exp %s (supported: %s)\n",
 			*exp, strings.Join(serverExps, ", "))
+		return 2
+	}
+	// -dedup selects the restore path for the recovery experiment; the
+	// dedup experiment always measures both paths, so an explicit flag
+	// anywhere else is a mistake worth rejecting early.
+	dedupExps := []string{"recovery"}
+	if explicit["dedup"] && !slices.Contains(dedupExps, *exp) {
+		fmt.Fprintf(os.Stderr, "-dedup is not supported by -exp %s (supported: %s)\n",
+			*exp, strings.Join(dedupExps, ", "))
 		return 2
 	}
 	if *fleetServers < 1 {
@@ -157,10 +171,22 @@ func run() int {
 		if !*jsonOut {
 			return nil
 		}
+		// The header echoes the resolved flag set, so every BENCH file is
+		// self-describing: a trajectory diff can tell a -short smoke from a
+		// full run without reconstructing the command line.
 		blob, err := json.MarshalIndent(map[string]any{
 			"experiment": name,
 			"scale":      *scaleFlag,
-			"rows":       rows,
+			"flags": map[string]any{
+				"exp":     *exp,
+				"scale":   *scaleFlag,
+				"devices": *fleetDevices,
+				"servers": *fleetServers,
+				"backend": *backendFlag,
+				"short":   *short,
+				"dedup":   *dedupFlag,
+			},
+			"rows": rows,
 		}, "", "  ")
 		if err != nil {
 			return err
@@ -310,13 +336,28 @@ func run() int {
 	})
 
 	register("recovery", func() error {
-		res, err := experiment.FleetRecovery(s, *fleetDevices)
+		res, err := experiment.FleetRecovery(s, *fleetDevices, *dedupFlag)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("Fleet recovery — power-cycle %d devices, concurrent codec-framed streamed restore from one server\n", *fleetDevices)
+		mode := "full-image"
+		if *dedupFlag {
+			mode = "dedup + checkpoint-delta"
+		}
+		fmt.Printf("Fleet recovery — power-cycle %d devices, concurrent %s streamed restore from one server\n", *fleetDevices, mode)
 		fmt.Print(experiment.RenderFleetRecovery(res))
 		return persist("recovery", res)
+	})
+
+	register("dedup", func() error {
+		res, err := experiment.DedupRestore(s, *fleetDevices)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Dedup restore — content-addressed store + checkpoint-anchored delta vs full-image, %d measured devices + scaling model\n",
+			*fleetDevices)
+		fmt.Print(experiment.RenderDedup(res))
+		return persist("dedup", res)
 	})
 
 	register("datapath", func() error {

@@ -1,0 +1,48 @@
+package bufpool
+
+import (
+	"crypto/sha256"
+	"hash"
+	"sync"
+)
+
+// Hasher is a pooled SHA-256 scratch for per-page content hashing. The
+// dedup datapath hashes every sealed page (device side at seal time, and
+// again device-side when verifying streamed literals before they enter the
+// restore resolve cache), so the hash state must be rented, not allocated:
+// crypto/sha256's one-shot Sum256 is allocation-free, but code that needs
+// an incremental writer or wants to amortize the digest across pages goes
+// through here. The pool follows the Deflater contract: Get, use, Release;
+// the hasher retains no caller memory across rentals.
+type Hasher struct {
+	h   hash.Hash
+	sum [sha256.Size]byte
+}
+
+var hasherPool = sync.Pool{
+	New: func() any { return &Hasher{h: sha256.New()} },
+}
+
+// GetHasher rents a pooled SHA-256 hasher.
+func GetHasher() *Hasher {
+	return hasherPool.Get().(*Hasher)
+}
+
+// Release returns the hasher to the pool. The hasher must not be used
+// after Release.
+func (h *Hasher) Release() {
+	if h == nil {
+		return
+	}
+	hasherPool.Put(h)
+}
+
+// Sum256 returns the SHA-256 of p. Steady state this is 0 allocs/op: the
+// digest writes into the hasher's own scratch array and the array is
+// returned by value.
+func (h *Hasher) Sum256(p []byte) [sha256.Size]byte {
+	h.h.Reset()
+	h.h.Write(p)
+	h.h.Sum(h.sum[:0])
+	return h.sum
+}

@@ -1,0 +1,70 @@
+package bufpool
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"testing"
+)
+
+func TestHasherMatchesSum256(t *testing.T) {
+	h := GetHasher()
+	defer h.Release()
+	for _, n := range []int{0, 1, 31, 512, 4096} {
+		p := make([]byte, n)
+		if _, err := rand.Read(p); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := h.Sum256(p), sha256.Sum256(p); got != want {
+			t.Fatalf("Sum256 mismatch at len %d: %x != %x", n, got, want)
+		}
+	}
+}
+
+// TestHasherSteadyStateAllocs is the dedup-path half of the zero-alloc
+// gate: page hashing through the pooled scratch must not allocate once the
+// pool is warm.
+func TestHasherSteadyStateAllocs(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc assertions run in the non-race job")
+	}
+	page := make([]byte, 4096)
+	if _, err := rand.Read(page); err != nil {
+		t.Fatal(err)
+	}
+	h := GetHasher()
+	defer h.Release()
+	h.Sum256(page) // warm
+	var sink [sha256.Size]byte
+	allocs := testing.AllocsPerRun(50, func() {
+		sink = h.Sum256(page)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("pooled page hashing allocates %.1f/op; want 0", allocs)
+	}
+
+	// The rent/hash/release cycle must also be allocation-free steady
+	// state — the restore path rents per verification burst.
+	allocs = testing.AllocsPerRun(50, func() {
+		hh := GetHasher()
+		sink = hh.Sum256(page)
+		hh.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("hasher rent cycle allocates %.1f/op; want 0", allocs)
+	}
+}
+
+func BenchmarkHasherSum256(b *testing.B) {
+	page := make([]byte, 4096)
+	if _, err := rand.Read(page); err != nil {
+		b.Fatal(err)
+	}
+	h := GetHasher()
+	defer h.Release()
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Sum256(page)
+	}
+}

@@ -423,6 +423,17 @@ type RestoreOptions struct {
 	// MaxResumes bounds how many stream interruptions the restorer rides
 	// out before giving up (default 8).
 	MaxResumes int
+	// Dedup requests hash-reference chunks: each unique page content
+	// crosses the wire once per restore as a verified literal; repeats
+	// arrive as 32-byte references resolved from a device-side cache that
+	// survives resumes.
+	Dedup bool
+	// Delta requests a checkpoint-anchored delta: the restorer anchors on
+	// the newest checkpoint at or before the cut and the server streams
+	// only LPNs touched since — everything else is reconstructed from the
+	// device's own surviving state, exactly as the local-only fallback
+	// already does for LPNs without remote history.
+	Delta bool
 }
 
 // RestoreReport summarizes one resumable restore.
@@ -434,13 +445,20 @@ type RestoreReport struct {
 	Resumes       int // mid-stream disconnects survived
 	BytesWire     uint64
 	BytesLogical  uint64
-	RTO           simclock.Duration // simulated start-to-done restore span
+	// PagesLiteral / PagesRef split streamed pages by wire form: full
+	// payloads vs hash references resolved from the dedup cache. Anchor
+	// is the checkpoint sequence a delta restore diffed against (0: full
+	// image).
+	PagesLiteral int
+	PagesRef     int
+	Anchor       uint64
+	RTO          simclock.Duration // simulated start-to-done restore span
 }
 
 func (rep RestoreReport) String() string {
-	return fmt.Sprintf("restore: %d rolled back, %d zeroed, %d kept in %d chunks (%d resumes), %d wire / %d logical bytes, RTO %v",
+	return fmt.Sprintf("restore: %d rolled back, %d zeroed, %d kept in %d chunks (%d resumes), %d wire / %d logical bytes, %d literal + %d ref pages (anchor %d), RTO %v",
 		rep.PagesRestored, rep.PagesZeroed, rep.PagesKept, rep.Chunks, rep.Resumes,
-		rep.BytesWire, rep.BytesLogical, rep.RTO)
+		rep.BytesWire, rep.BytesLogical, rep.PagesLiteral, rep.PagesRef, rep.Anchor, rep.RTO)
 }
 
 // restoreApplyError marks a device-side failure inside the stream callback
@@ -492,15 +510,29 @@ func (r *RSSD) RestoreImage(before uint64, opts RestoreOptions, at simclock.Time
 	n := r.f.LogicalPages()
 	cursor := uint64(0) // next LPN not yet rolled back
 
-	applyChunk := func(pages []oplog.PageRecord, wire, logical int) error {
+	// The resolve cache outlives resumes: literals cached before a cut
+	// stay resolvable after it (a fresh stream session re-literals what it
+	// references anyway, so the cache only dedups copies).
+	var cache *remote.ResolveCache
+	if opts.Dedup {
+		cache = remote.NewResolveCache()
+	}
+	anchor := uint64(0)
+	anchorKnown := !opts.Delta
+
+	applyChunk := func(pages []oplog.PageRecord, cs remote.ChunkStats) error {
 		if opts.Link != nil {
-			at = at.Add(opts.Link.ChunkTime(wire))
+			at = at.Add(opts.Link.ChunkTime(cs.WireBytes))
 		}
 		rep.Chunks++
-		rep.BytesWire += uint64(wire)
-		rep.BytesLogical += uint64(logical)
-		r.stats.RestoreBytesWire += uint64(wire)
-		r.stats.RestoreBytesLogical += uint64(logical)
+		rep.BytesWire += uint64(cs.WireBytes)
+		rep.BytesLogical += uint64(cs.LogicalBytes)
+		rep.PagesLiteral += cs.Literals
+		rep.PagesRef += cs.Refs
+		r.stats.RestoreBytesWire += uint64(cs.WireBytes)
+		r.stats.RestoreBytesLogical += uint64(cs.LogicalBytes)
+		r.stats.RestorePagesLiteral += uint64(cs.Literals)
+		r.stats.RestorePagesDelta += uint64(cs.Refs)
 		for i := range pages {
 			rec := &pages[i]
 			if rec.LPN < cursor || rec.LPN >= n {
@@ -523,8 +555,34 @@ func (r *RSSD) RestoreImage(before uint64, opts RestoreOptions, at simclock.Time
 	client, err := dial()
 	backoff := opts.BackoffBase
 	for attempts := 0; ; {
+		if err == nil && !anchorKnown {
+			// Resolve the delta anchor once: the newest verified
+			// checkpoint at or before the cut. No checkpoint means no
+			// anchor — the stream degrades to the full image. A failed
+			// lookup is a transport error and retries like a failed dial.
+			cp, ok, cperr := client.FetchCheckpoint(before)
+			if cperr != nil {
+				err = cperr
+				client.Close()
+			} else {
+				if ok {
+					anchor = cp.Seq
+					rep.Anchor = anchor
+				}
+				anchorKnown = true
+			}
+		}
 		if err == nil {
-			_, err = client.FetchImageStream(cursor, before, opts.ChunkPages, applyChunk)
+			if opts.Dedup || anchor > 0 {
+				_, err = client.FetchImageDelta(cursor, before, anchor, opts.ChunkPages, cache, applyChunk)
+			} else {
+				_, err = client.FetchImageStream(cursor, before, opts.ChunkPages,
+					func(pages []oplog.PageRecord, wire, logical int) error {
+						return applyChunk(pages, remote.ChunkStats{
+							WireBytes: wire, LogicalBytes: logical, Literals: len(pages),
+						})
+					})
+			}
 			if err == nil {
 				client.Close()
 				break

@@ -191,6 +191,15 @@ type Stats struct {
 	// is the compression the restore path now gets end to end.
 	RestoreBytesWire    uint64
 	RestoreBytesLogical uint64
+	// RestorePagesLiteral / RestorePagesDelta split streamed restore pages
+	// by wire form: literals carried their full payload, delta pages
+	// arrived as a 32-byte hash reference resolved from the device-side
+	// cache (each unique page content crosses the wire once per restore).
+	// DedupHitRate is derived: delta / (delta + literal); zero until a
+	// dedup restore runs.
+	RestorePagesLiteral uint64
+	RestorePagesDelta   uint64
+	DedupHitRate        float64
 	// LastOffloadError is the most recent background offload/checkpoint
 	// failure ("" when the last attempt succeeded) — the SMART-log style
 	// surfacing of errors that never reach host I/O.
@@ -338,6 +347,9 @@ func (r *RSSD) Stats() Stats {
 	}
 	if r.lastOffloadErr != nil {
 		s.LastOffloadError = r.lastOffloadErr.Error()
+	}
+	if total := s.RestorePagesDelta + s.RestorePagesLiteral; total > 0 {
+		s.DedupHitRate = float64(s.RestorePagesDelta) / float64(total)
 	}
 	return s
 }

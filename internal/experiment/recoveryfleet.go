@@ -14,6 +14,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/metrics"
 	"repro/internal/nand"
+	"repro/internal/oplog"
 	"repro/internal/remote"
 	"repro/internal/simclock"
 	"repro/internal/workload"
@@ -50,6 +51,9 @@ type RecoveryDeviceRow struct {
 	Resumes           int // mid-restore disconnects survived (resumed, not restarted)
 	RestoreWireMiB    float64
 	RestoreLogicalMiB float64
+	LiteralPages      int    // streamed pages that carried a full payload
+	RefPages          int    // streamed pages that arrived as hash references
+	AnchorSeq         uint64 // checkpoint sequence the delta diffed against (0: full)
 
 	BacklogPages int     // retention backlog right after restore
 	Redials      uint64  // offload sessions re-established after the outage
@@ -59,11 +63,13 @@ type RecoveryDeviceRow struct {
 
 // RecoverySummary aggregates the recovery fleet run.
 type RecoverySummary struct {
-	Devices     int
-	Attacked    int
-	Caught      int
-	FalseAlerts int
-	AllVerified bool
+	Devices        int
+	Attacked       int
+	Caught         int
+	FalseAlerts    int
+	AllVerified    bool
+	ChainsVerified bool // every device's remote evidence chain verified end to end
+	Dedup          bool // restores ran the hash-ref + checkpoint-delta path
 
 	MeanRTOms    float64
 	MaxRTOms     float64
@@ -75,6 +81,15 @@ type RecoverySummary struct {
 	PeakSessions int // most devices restoring at once (recovery link)
 	TotalRedials uint64
 	MaxDrainMs   float64
+
+	// Dedup ledger (zero on non-dedup runs): pages by wire form across the
+	// fleet, the derived hit rate, and the store-side content dedup.
+	LiteralPages     int
+	RefPages         int
+	DedupHitRate     float64 // refs / (refs + literals) on the restore wire
+	StoreUniquePages int     // distinct page contents the store holds
+	StoreTotalRefs   int64   // logical page versions referencing them
+	StoreHitRate     float64 // fraction of versions served by an existing copy
 }
 
 // RecoveryFleetResult is the full recovery fleet report.
@@ -93,8 +108,11 @@ type recoveredDevice struct {
 	row   RecoveryDeviceRow
 }
 
-// FleetRecovery runs the fleet power-cycle recovery scenario.
-func FleetRecovery(s Scale, devices int) (*RecoveryFleetResult, error) {
+// FleetRecovery runs the fleet power-cycle recovery scenario. With dedup
+// set, restores ride the content-addressed path: hash-reference chunks
+// resolved from a device-side cache plus a checkpoint-anchored delta that
+// streams only pages touched since the pre-attack checkpoint.
+func FleetRecovery(s Scale, devices int, dedup bool) (*RecoveryFleetResult, error) {
 	if devices <= 0 {
 		devices = 8
 	}
@@ -143,7 +161,7 @@ func FleetRecovery(s Scale, devices int) (*RecoveryFleetResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = runRecoveryRestore(srv, link, devs[i], uint64(i+1), i == chokeIdx)
+			errs[i] = runRecoveryRestore(srv, link, devs[i], uint64(i+1), i == chokeIdx, dedup)
 		}(i)
 	}
 	wg.Wait()
@@ -153,8 +171,23 @@ func FleetRecovery(s Scale, devices int) (*RecoveryFleetResult, error) {
 		}
 	}
 
+	// Every device's remote evidence chain must still verify end to end
+	// after the restore churn — dedup interning must never disturb the
+	// chain the rollback is trusted on.
+	chainsOK := true
+	for i := 0; i < devices; i++ {
+		id := uint64(i + 1)
+		entries := store.Entries(id, 0, store.Head(id).NextSeq)
+		if err := oplog.VerifyChain(entries, [oplog.HashSize]byte{}); err != nil {
+			chainsOK = false
+		}
+	}
+
 	rows := make([]RecoveryDeviceRow, devices)
-	sum := RecoverySummary{Devices: devices, AllVerified: true, PeakSessions: link.PeakSessions()}
+	sum := RecoverySummary{
+		Devices: devices, AllVerified: true, PeakSessions: link.PeakSessions(),
+		ChainsVerified: chainsOK, Dedup: dedup,
+	}
 	var totalRTO, maxRTO simclock.Duration
 	var logicalBytes uint64
 	for i, d := range devs {
@@ -183,7 +216,16 @@ func FleetRecovery(s Scale, devices int) (*RecoveryFleetResult, error) {
 		if r.DrainMs > sum.MaxDrainMs {
 			sum.MaxDrainMs = r.DrainMs
 		}
+		sum.LiteralPages += r.LiteralPages
+		sum.RefPages += r.RefPages
 	}
+	if total := sum.LiteralPages + sum.RefPages; total > 0 {
+		sum.DedupHitRate = float64(sum.RefPages) / float64(total)
+	}
+	ds := store.Dedup()
+	sum.StoreUniquePages = ds.UniquePages
+	sum.StoreTotalRefs = ds.TotalRefs
+	sum.StoreHitRate = ds.HitRate()
 	sum.MeanRTOms = float64(totalRTO) / float64(devices) / 1e6
 	sum.MaxRTOms = float64(maxRTO) / 1e6
 	if maxRTO > 0 {
@@ -253,6 +295,11 @@ func runRecoverySetup(s Scale, srv *remote.Server, engine *detect.Engine, device
 	if _, err := dev.OffloadNow(fs.Clock().Now()); err != nil {
 		return nil, err
 	}
+	// Checkpoint at the snapshot: the delta restore anchors here and
+	// streams only pages the attack (or churn) touched afterwards.
+	if _, err := dev.CheckpointNow(fs.Clock().Now()); err != nil {
+		return nil, err
+	}
 	d.cut = dev.Log().NextSeq()
 	d.want = expectedPages(snap, extents, s.PageSize)
 	d.row.SnapshotPages = len(d.want)
@@ -302,7 +349,7 @@ func runRecoverySetup(s Scale, srv *remote.Server, engine *detect.Engine, device
 // flash, stream-restore the pre-attack image (resuming through a cut link
 // when choked), verify page-identical, then drain the restore backlog
 // across a simulated offload outage via the redial path.
-func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recoveredDevice, deviceID uint64, choke bool) error {
+func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recoveredDevice, deviceID uint64, choke, dedup bool) error {
 	dial := func() (*remote.Client, error) { return remote.Loopback(srv, PSK, deviceID) }
 	d.cfg.Dial = dial // the reopened device redials dead offload sessions itself
 
@@ -339,6 +386,8 @@ func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recove
 		Dial:       restoreDial,
 		Link:       link,
 		ChunkPages: 16,
+		Dedup:      dedup,
+		Delta:      dedup,
 	}, at)
 	if err != nil {
 		return fmt.Errorf("restore: %w", err)
@@ -351,6 +400,12 @@ func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recove
 	d.row.Resumes = rep.Resumes
 	d.row.RestoreWireMiB = float64(rep.BytesWire) / float64(1<<20)
 	d.row.RestoreLogicalMiB = float64(rep.BytesLogical) / float64(1<<20)
+	d.row.LiteralPages = rep.PagesLiteral
+	d.row.RefPages = rep.PagesRef
+	d.row.AnchorSeq = rep.Anchor
+	if dedup && rep.Anchor == 0 {
+		return fmt.Errorf("dedup restore found no checkpoint anchor")
+	}
 	if choke && rep.Resumes == 0 {
 		return fmt.Errorf("choked device restored without a resume (disconnect not exercised)")
 	}
@@ -412,13 +467,24 @@ func RenderFleetRecovery(res *RecoveryFleetResult) string {
 	if !s.AllVerified {
 		verified = "VERIFICATION FAILED"
 	}
-	return tb.String() + fmt.Sprintf(
-		"recovery: %d devices (%d attacked, %d caught, %d false alerts), %s\n"+
+	chains := "chains verified"
+	if !s.ChainsVerified {
+		chains = "CHAIN VERIFICATION FAILED"
+	}
+	out := tb.String() + fmt.Sprintf(
+		"recovery: %d devices (%d attacked, %d caught, %d false alerts), %s, %s\n"+
 			"          RTO mean %.2f ms / max %.2f ms, aggregate restore %.3f GB/s over %d concurrent sessions\n"+
 			"          restore wire %.2f MiB vs logical %.2f MiB (%.2fx codec), %d mid-stream resumes\n"+
 			"          outage drain: %d redials, max %.2f ms backlog-drain\n",
-		s.Devices, s.Attacked, s.Caught, s.FalseAlerts, verified,
+		s.Devices, s.Attacked, s.Caught, s.FalseAlerts, verified, chains,
 		s.MeanRTOms, s.MaxRTOms, s.RestoreGBps, s.PeakSessions,
 		s.WireMiB, s.LogicalMiB, s.WireRatio, s.Resumes,
 		s.TotalRedials, s.MaxDrainMs)
+	if s.Dedup {
+		out += fmt.Sprintf(
+			"          dedup: %d literal + %d ref pages (%.0f%% wire hit rate), store %d unique / %d refs (%.0f%% content dedup)\n",
+			s.LiteralPages, s.RefPages, s.DedupHitRate*100,
+			s.StoreUniquePages, s.StoreTotalRefs, s.StoreHitRate*100)
+	}
+	return out
 }

@@ -6,7 +6,7 @@ import "testing"
 // run: 2 devices (one attacked), concurrent restore, one deliberately cut
 // recovery link, verified rollback, and an outage-drain with redial.
 func TestFleetRecoveryScenario(t *testing.T) {
-	res, err := FleetRecovery(SmallScale(), 2)
+	res, err := FleetRecovery(SmallScale(), 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +44,41 @@ func TestFleetRecoveryScenario(t *testing.T) {
 		}
 		if r.RestoredPages == 0 {
 			t.Fatalf("device %d restored nothing (no rollback work): %+v", r.Device, r)
+		}
+	}
+}
+
+// TestFleetRecoveryDedup runs the same scenario over the content-addressed
+// restore path: hash-reference chunks, resolve cache, checkpoint-anchored
+// delta — through the same choked-link resume and outage drain, with the
+// same page-identical verification.
+func TestFleetRecoveryDedup(t *testing.T) {
+	res, err := FleetRecovery(SmallScale(), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary
+	if !s.Dedup {
+		t.Fatal("summary does not record dedup mode")
+	}
+	if !s.AllVerified {
+		t.Fatal("dedup-restored images not page-identical to the pre-attack state")
+	}
+	if !s.ChainsVerified {
+		t.Fatal("evidence chains failed verification after dedup restore")
+	}
+	if s.Resumes == 0 {
+		t.Fatal("the choked device never resumed a cut dedup stream")
+	}
+	if s.LiteralPages == 0 {
+		t.Fatal("dedup stream carried no literal pages")
+	}
+	for _, r := range res.Rows {
+		if r.AnchorSeq == 0 {
+			t.Fatalf("device %d restored without a checkpoint anchor: %+v", r.Device, r)
+		}
+		if !r.Verified {
+			t.Fatalf("device %d not verified: %+v", r.Device, r)
 		}
 	}
 }

@@ -48,8 +48,9 @@ const (
 	MsgFetch     // device -> server: retrieval request (recovery/forensics)
 	MsgFetchResp // server -> device
 	MsgError
-	MsgFetchChunk // server -> device: one codec-framed chunk of a streamed fetch
-	MsgFetchEnd   // server -> device: stream trailer (StreamEnd)
+	MsgFetchChunk    // server -> device: one codec-framed chunk of a streamed fetch
+	MsgFetchEnd      // server -> device: stream trailer (StreamEnd)
+	MsgFetchChunkRef // server -> device: codec-framed hash-reference chunk (RefChunk)
 )
 
 func (t MsgType) String() string {
@@ -76,6 +77,8 @@ func (t MsgType) String() string {
 		return "fetch-chunk"
 	case MsgFetchEnd:
 		return "fetch-end"
+	case MsgFetchChunkRef:
+		return "fetch-chunk-ref"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

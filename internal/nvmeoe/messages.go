@@ -50,15 +50,33 @@ type FetchReq struct {
 	To         uint64
 	Before     uint64
 	ChunkPages uint32 // FetchImageStream: pages per chunk (0 = server default)
+	// Anchor, when non-zero on FetchImageStream, requests a
+	// checkpoint-anchored delta image: the server streams only LPNs
+	// touched by a state-changing log entry at or after this sequence.
+	// Everything below the anchor is reconstructible from the device's
+	// verified checkpoint + local state, so it never crosses the wire.
+	Anchor uint64
+	Flags  uint8
 }
+
+// Fetch request flags.
+const (
+	// FetchFlagDedup asks the server to serve image-stream chunks as
+	// hash-reference frames (MsgFetchChunkRef): the first occurrence of
+	// each content hash in the stream carries the literal page, repeats
+	// carry only the 32-byte hash and resolve from the device-side cache.
+	FetchFlagDedup uint8 = 1 << 0
+)
 
 // ErrBadMessage reports a payload that does not decode.
 var ErrBadMessage = errors.New("nvmeoe: malformed message payload")
 
-// fetch req sizes: the legacy encoding predates ChunkPages; both decode.
+// fetch req sizes: the legacy encoding predates ChunkPages, the streaming
+// encoding predates Anchor/Flags; all three decode.
 const (
 	fetchReqSizeLegacy = 1 + 4*8
-	fetchReqSize       = fetchReqSizeLegacy + 4
+	fetchReqSizeStream = fetchReqSizeLegacy + 4
+	fetchReqSize       = fetchReqSizeStream + 8 + 1
 )
 
 // Marshal encodes the request.
@@ -70,13 +88,17 @@ func (r *FetchReq) Marshal() []byte {
 	b = binary.LittleEndian.AppendUint64(b, r.To)
 	b = binary.LittleEndian.AppendUint64(b, r.Before)
 	b = binary.LittleEndian.AppendUint32(b, r.ChunkPages)
+	b = binary.LittleEndian.AppendUint64(b, r.Anchor)
+	b = append(b, r.Flags)
 	return b
 }
 
 // UnmarshalFetchReq decodes a request. Requests from pre-streaming devices
-// lack the ChunkPages field and decode with ChunkPages zero.
+// lack the ChunkPages field and decode with ChunkPages zero; pre-dedup
+// requests lack Anchor/Flags and decode with both zero (full literal
+// stream — the legacy behavior).
 func UnmarshalFetchReq(b []byte) (FetchReq, error) {
-	if len(b) != fetchReqSize && len(b) != fetchReqSizeLegacy {
+	if len(b) != fetchReqSize && len(b) != fetchReqSizeStream && len(b) != fetchReqSizeLegacy {
 		return FetchReq{}, fmt.Errorf("%w: fetch req size %d", ErrBadMessage, len(b))
 	}
 	r := FetchReq{
@@ -86,8 +108,12 @@ func UnmarshalFetchReq(b []byte) (FetchReq, error) {
 		To:     binary.LittleEndian.Uint64(b[17:]),
 		Before: binary.LittleEndian.Uint64(b[25:]),
 	}
-	if len(b) == fetchReqSize {
+	if len(b) >= fetchReqSizeStream {
 		r.ChunkPages = binary.LittleEndian.Uint32(b[33:])
+	}
+	if len(b) == fetchReqSize {
+		r.Anchor = binary.LittleEndian.Uint64(b[37:])
+		r.Flags = b[45]
 	}
 	return r, nil
 }

@@ -45,7 +45,7 @@ func TestImageRangeChunks(t *testing.T) {
 	var got []oplog.PageRecord
 	from := uint64(0)
 	for {
-		pages, next, more := st.ImageRange(1, from, ^uint64(0), 100, 7)
+		pages, next, more := st.ImageRange(1, from, ^uint64(0), 100, 7, nil)
 		got = append(got, pages...)
 		if !more || len(pages) == 0 {
 			break
@@ -61,7 +61,7 @@ func TestImageRangeChunks(t *testing.T) {
 		}
 	}
 	// A bounded range returns only its half-open LPN window.
-	pages, _, _ := st.ImageRange(1, 5, 9, 100, 100)
+	pages, _, _ := st.ImageRange(1, 5, 9, 100, 100, nil)
 	if len(pages) != 4 || pages[0].LPN != 5 || pages[3].LPN != 8 {
 		t.Fatalf("bounded range = %d pages starting %d", len(pages), pages[0].LPN)
 	}

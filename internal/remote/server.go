@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bufpool"
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
 	"repro/internal/simclock"
@@ -64,6 +65,16 @@ type RecoveryStats struct {
 	Pages        uint64
 	BytesWire    uint64
 	BytesLogical uint64
+	// Dedup ledger. On hash-reference streams (FetchFlagDedup) every
+	// served page is either a literal (first occurrence of its content
+	// hash in the stream — full payload) or a reference (32-byte hash the
+	// device resolves locally). BytesDedupSaved is the literal payload
+	// volume references avoided; DeltaStreams counts streams served as
+	// checkpoint-anchored deltas (Anchor > 0).
+	PagesLiteral    uint64
+	PagesRef        uint64
+	BytesDedupSaved uint64
+	DeltaStreams    uint64
 }
 
 // DefaultRecoveryChunkPages bounds pages per streamed restore chunk when
@@ -104,6 +115,10 @@ func (s *Server) addRecovery(deviceID uint64, d RecoveryStats) {
 	rs.Pages += d.Pages
 	rs.BytesWire += d.BytesWire
 	rs.BytesLogical += d.BytesLogical
+	rs.PagesLiteral += d.PagesLiteral
+	rs.PagesRef += d.PagesRef
+	rs.BytesDedupSaved += d.BytesDedupSaved
+	rs.DeltaStreams += d.DeltaStreams
 }
 
 // NewServer returns a server over store that accepts any device presenting
@@ -348,7 +363,7 @@ func (s *Server) serveFetch(ss *session, req nvmeoe.FetchReq) error {
 	case nvmeoe.FetchRange:
 		var pages []oplog.PageRecord
 		for from := req.From; ; {
-			chunk, next, more := s.Store.ImageRange(deviceID, from, req.To, req.Before, MaxRecoveryChunkPages)
+			chunk, next, more := s.Store.ImageRange(deviceID, from, req.To, req.Before, MaxRecoveryChunkPages, nil)
 			pages = append(pages, chunk...)
 			if !more || len(chunk) == 0 {
 				break
@@ -385,6 +400,16 @@ func (s *Server) serveFetch(ss *session, req nvmeoe.FetchReq) error {
 // own restore is running are served by later chunks instead of silently
 // missed. A stream opened with From > 0 is a resume: the device already
 // applied everything below From and the server just continues from there.
+//
+// Two orthogonal reductions apply on request. With FetchFlagDedup, chunks
+// go out as hash-reference frames (MsgFetchChunkRef): the first occurrence
+// of each content hash in the stream session carries the literal page,
+// repeats carry only the hash — the per-session sent set guarantees every
+// reference resolves from literals the device has already cached. With
+// Anchor > 0, the stream is a checkpoint-anchored delta: only LPNs touched
+// by a state-changing entry at or after the anchor are served, because
+// everything else is bit-identical to what the device reconstructs from
+// its own pre-anchor state.
 func (s *Server) serveImageStream(ss *session, req nvmeoe.FetchReq) error {
 	deviceID := ss.deviceID
 	chunkPages := int(req.ChunkPages)
@@ -398,14 +423,67 @@ func (s *Server) serveImageStream(ss *session, req nvmeoe.FetchReq) error {
 	if req.From > 0 {
 		delta.Resumes = 1
 	}
+	dedup := req.Flags&nvmeoe.FetchFlagDedup != 0
+	only := s.Store.TouchedSince(deviceID, req.Anchor)
+	if only != nil {
+		delta.DeltaStreams = 1
+	}
+	var sent map[[oplog.HashSize]byte]struct{}
+	var refPages []nvmeoe.RefPage
+	if dedup {
+		sent = make(map[[oplog.HashSize]byte]struct{})
+		refPages = make([]nvmeoe.RefPage, 0, chunkPages)
+	}
 	from := req.From
 	end := nvmeoe.StreamEnd{NextLPN: from}
 	for {
-		pages, next, more := s.Store.ImageRange(deviceID, from, ^uint64(0), req.Before, chunkPages)
+		pages, next, more := s.Store.ImageRange(deviceID, from, ^uint64(0), req.Before, chunkPages, only)
 		if len(pages) > 0 {
-			seg := &oplog.Segment{DeviceID: deviceID, Pages: pages}
-			blob := nvmeoe.EncodeSegmentBlob(seg.Marshal())
-			if err := ss.writeMsg(nvmeoe.MsgFetchChunk, blob); err != nil {
+			var blob []byte
+			var msg nvmeoe.MsgType
+			var raw *bufpool.Buf
+			var blobBuf *bufpool.Buf
+			if dedup {
+				refPages = refPages[:0]
+				for i := range pages {
+					p := &pages[i]
+					rp := nvmeoe.RefPage{
+						LPN:      p.LPN,
+						WriteSeq: p.WriteSeq,
+						StaleSeq: p.StaleSeq,
+						Cause:    p.Cause,
+						Hash:     p.Hash,
+					}
+					if _, dup := sent[p.Hash]; dup {
+						rp.Ref = true
+						delta.PagesRef++
+						delta.BytesDedupSaved += uint64(len(p.Data))
+					} else {
+						rp.Data = p.Data
+						sent[p.Hash] = struct{}{}
+						delta.PagesLiteral++
+					}
+					refPages = append(refPages, rp)
+				}
+				raw = bufpool.Get(nvmeoe.RefChunkWireSize(refPages))
+				raw.B = nvmeoe.AppendRefChunk(raw.B, deviceID, refPages)
+				blobBuf = bufpool.Get(nvmeoe.BlobOverhead + len(raw.B))
+				blobBuf.B = nvmeoe.AppendSegmentBlob(blobBuf.B, raw.B)
+				blob = blobBuf.B
+				msg = nvmeoe.MsgFetchChunkRef
+			} else {
+				seg := &oplog.Segment{DeviceID: deviceID, Pages: pages}
+				blob = nvmeoe.EncodeSegmentBlob(seg.Marshal())
+				msg = nvmeoe.MsgFetchChunk
+			}
+			err := ss.writeMsg(msg, blob)
+			if raw != nil {
+				raw.Release()
+			}
+			if blobBuf != nil {
+				blobBuf.Release()
+			}
+			if err != nil {
 				s.addRecovery(deviceID, delta)
 				return err
 			}
@@ -612,6 +690,124 @@ func (c *Client) FetchImageStream(from, before uint64, chunkPages int, fn func(p
 				return nvmeoe.StreamEnd{}, err
 			}
 			if err := fn(seg.Pages, len(body), len(raw)); err != nil {
+				return nvmeoe.StreamEnd{}, err
+			}
+		case nvmeoe.MsgFetchEnd:
+			return nvmeoe.UnmarshalStreamEnd(body)
+		case nvmeoe.MsgError:
+			em, err := nvmeoe.UnmarshalErrorMsg(body)
+			if err != nil {
+				return nvmeoe.StreamEnd{}, err
+			}
+			return nvmeoe.StreamEnd{}, &RemoteError{Code: em.Code, Text: em.Text}
+		default:
+			return nvmeoe.StreamEnd{}, fmt.Errorf("remote: unexpected message %v in image stream", typ)
+		}
+	}
+}
+
+// ChunkStats describes one streamed restore chunk as the dedup-aware
+// client saw it: wire and logical sizes plus how the pages arrived —
+// full literal payloads or hash references resolved from the cache.
+type ChunkStats struct {
+	WireBytes    int
+	LogicalBytes int
+	Literals     int
+	Refs         int
+}
+
+// FetchImageDelta is the dedup-aware image stream: it requests
+// hash-reference chunks when cache is non-nil (literals verified against
+// their content hash before entering the cache; references resolved from
+// it) and a checkpoint-anchored delta when anchor > 0 (only LPNs touched
+// at or after the anchor are streamed). Legacy full-page chunks from a
+// pre-dedup server decode transparently — their pages count as literals
+// and still feed the cache, so a mixed stream stays resolvable. The cache
+// must outlive resumes of the same restore: references in a resumed
+// session may point at literals delivered before the cut only if the
+// server re-literals them (it does — the sent set is per session), so a
+// fresh session is always self-contained, and the surviving cache merely
+// dedups the copies.
+func (c *Client) FetchImageDelta(from, before, anchor uint64, chunkPages int, cache *ResolveCache, fn func(pages []oplog.PageRecord, cs ChunkStats) error) (nvmeoe.StreamEnd, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := nvmeoe.FetchReq{
+		Kind: nvmeoe.FetchImageStream, From: from, Before: before,
+		ChunkPages: uint32(chunkPages), Anchor: anchor,
+	}
+	if cache != nil {
+		req.Flags |= nvmeoe.FetchFlagDedup
+	}
+	if err := c.conn.WriteMsg(nvmeoe.MsgFetch, req.Marshal()); err != nil {
+		return nvmeoe.StreamEnd{}, err
+	}
+	var pages []oplog.PageRecord // scratch, reused across chunks
+	for {
+		typ, body, err := c.conn.ReadMsg()
+		if err != nil {
+			return nvmeoe.StreamEnd{}, err
+		}
+		switch typ {
+		case nvmeoe.MsgFetchChunkRef:
+			raw, err := nvmeoe.DecodeSegmentBlob(body)
+			if err != nil {
+				return nvmeoe.StreamEnd{}, err
+			}
+			cs := ChunkStats{WireBytes: len(body), LogicalBytes: len(raw)}
+			pages = pages[:0]
+			if _, err := nvmeoe.WalkRefChunk(raw, func(p nvmeoe.RefPage) error {
+				rec := oplog.PageRecord{
+					LPN:      p.LPN,
+					WriteSeq: p.WriteSeq,
+					StaleSeq: p.StaleSeq,
+					Cause:    p.Cause,
+					Hash:     p.Hash,
+				}
+				if p.Ref {
+					data, ok := cache.Lookup(p.Hash)
+					if !ok {
+						return fmt.Errorf("remote: unresolved hash reference for lpn %d", p.LPN)
+					}
+					rec.Data = data
+					cs.Refs++
+				} else {
+					data, err := cache.Add(p.Hash, p.Data)
+					if err != nil {
+						return err
+					}
+					rec.Data = data
+					cs.Literals++
+				}
+				pages = append(pages, rec)
+				return nil
+			}); err != nil {
+				return nvmeoe.StreamEnd{}, err
+			}
+			if err := fn(pages, cs); err != nil {
+				return nvmeoe.StreamEnd{}, err
+			}
+		case nvmeoe.MsgFetchChunk:
+			// Legacy full-page chunk (pre-dedup server, or dedup not
+			// requested): every page is a literal.
+			raw, err := nvmeoe.DecodeSegmentBlob(body)
+			if err != nil {
+				return nvmeoe.StreamEnd{}, err
+			}
+			seg, err := oplog.UnmarshalSegment(raw)
+			if err != nil {
+				return nvmeoe.StreamEnd{}, err
+			}
+			cs := ChunkStats{WireBytes: len(body), LogicalBytes: len(raw), Literals: len(seg.Pages)}
+			if cache != nil {
+				for i := range seg.Pages {
+					data, err := cache.Add(seg.Pages[i].Hash, seg.Pages[i].Data)
+					if err != nil {
+						return nvmeoe.StreamEnd{}, err
+					}
+					seg.Pages[i].Data = data
+				}
+			}
+			if err := fn(seg.Pages, cs); err != nil {
 				return nvmeoe.StreamEnd{}, err
 			}
 		case nvmeoe.MsgFetchEnd:

@@ -25,7 +25,13 @@ type Store struct {
 	mu      sync.RWMutex
 	blobs   ObjectStore
 	devices map[uint64]*deviceLog
-	subs    []func(deviceID uint64, seg *oplog.Segment)
+	// chunks is the fleet-wide content-addressed page index: every
+	// ingested page version is interned by its verified content hash, so
+	// one physical copy serves all devices and segments that wrote the
+	// same bytes. Lock order: a device shard lock may be held when taking
+	// a chunk shard lock, never the reverse.
+	chunks *chunkIndex
+	subs   []func(deviceID uint64, seg *oplog.Segment)
 	// OnSegment, when set, is invoked after each accepted segment, like a
 	// subscriber registered first. Prefer Subscribe, which supports
 	// multiple consumers; the field remains for single-consumer wiring.
@@ -47,6 +53,9 @@ type deviceLog struct {
 	checkpoints []nvmeoe.Checkpoint           // sorted by Seq
 	segKeys     []string
 	pageBytes   int64
+	// dedupHits counts ingested page versions whose content was already
+	// in the chunk index — the store-side dedup ledger for this device.
+	dedupHits int64
 	// bytesLogical is what segments decode to (the uncompressed marshal);
 	// bytesStored what the object store actually holds. Their ratio is the
 	// wire/at-rest compression the retention budget is sized with.
@@ -60,7 +69,7 @@ type deviceLog struct {
 
 // NewStore returns a Store persisting blobs to the given object store.
 func NewStore(blobs ObjectStore) *Store {
-	return &Store{blobs: blobs, devices: map[uint64]*deviceLog{}}
+	return &Store{blobs: blobs, devices: map[uint64]*deviceLog{}, chunks: newChunkIndex()}
 }
 
 // Subscribe registers a segment-ingest hook; every accepted segment is
@@ -150,8 +159,16 @@ func (s *Store) AppendSegmentBlob(seg *oplog.Segment, blob []byte) error {
 		d.nextSeq = seg.Entries[n-1].Seq + 1
 		d.headHash = seg.Entries[n-1].Hash
 	}
-	for _, p := range seg.Pages {
-		d.versions[p.LPN] = insertVersion(d.versions[p.LPN], p)
+	for i := range seg.Pages {
+		p := &seg.Pages[i]
+		// Intern by the hash VerifyPages just checked: the version index
+		// (and every subscriber) sees the canonical physical copy.
+		data, hit := s.chunks.intern(p.Hash, p.Data)
+		p.Data = data
+		if hit {
+			d.dedupHits++
+		}
+		d.versions[p.LPN] = insertVersion(d.versions[p.LPN], *p)
 		d.pageBytes += int64(len(p.Data))
 	}
 	d.segKeys = append(d.segKeys, key)
@@ -292,7 +309,11 @@ func (s *Store) Image(deviceID, before uint64) []oplog.PageRecord {
 // restore is in flight (a recovering device's own restore-churn offloads)
 // are visible to later chunks, so the stream never serves a view staler
 // than the chain head it resumed from.
-func (s *Store) ImageRange(deviceID, fromLPN, toLPN, before uint64, maxPages int) (pages []oplog.PageRecord, nextLPN uint64, more bool) {
+//
+// only, when non-nil, restricts the image to that LPN set — the
+// checkpoint-anchored delta path passes TouchedSince(anchor) so only
+// diverged pages are served. nil means the full image.
+func (s *Store) ImageRange(deviceID, fromLPN, toLPN, before uint64, maxPages int, only map[uint64]struct{}) (pages []oplog.PageRecord, nextLPN uint64, more bool) {
 	d, ok := s.lookup(deviceID)
 	if !ok {
 		return nil, fromLPN, false
@@ -311,6 +332,11 @@ func (s *Store) ImageRange(deviceID, fromLPN, toLPN, before uint64, maxPages int
 	for lpn, vs := range d.versions {
 		if lpn < fromLPN || lpn >= toLPN {
 			continue
+		}
+		if only != nil {
+			if _, touched := only[lpn]; !touched {
+				continue
+			}
 		}
 		if i := sort.Search(len(vs), func(i int) bool { return vs[i].WriteSeq >= before }); i == 0 {
 			continue
@@ -413,6 +439,10 @@ type Stats struct {
 	// budget.
 	BytesLogical int64
 	BytesStored  int64
+	// PagesDeduped counts this device's ingested page versions whose
+	// content the chunk index already held (from any device) — the
+	// store-side dedup ledger.
+	PagesDeduped int64
 }
 
 // DeviceStats returns the remote footprint of one device.
@@ -437,7 +467,83 @@ func (s *Store) DeviceStats(deviceID uint64) Stats {
 		Checkpoints:  len(d.checkpoints),
 		BytesLogical: d.bytesLogical,
 		BytesStored:  d.bytesStored,
+		PagesDeduped: d.dedupHits,
 	}
+}
+
+// Dedup returns the content-addressed index's fleet-wide ledger: distinct
+// physical pages held versus logical page versions referencing them.
+func (s *Store) Dedup() DedupStats {
+	return s.chunks.stats()
+}
+
+// TouchedSince returns the set of LPNs with a state-changing log entry
+// (write, trim, recovery write/trim) at or after sequence since — the
+// diverged set a checkpoint-anchored delta restore must stream. Every LPN
+// outside the set has had no state change since the anchor, so its live
+// content at the cut equals its content at the anchor and the device
+// reconstructs it locally. since == 0 (no anchor) returns nil: no filter,
+// stream the full image.
+func (s *Store) TouchedSince(deviceID, since uint64) map[uint64]struct{} {
+	if since == 0 {
+		return nil
+	}
+	d, ok := s.lookup(deviceID)
+	if !ok {
+		return map[uint64]struct{}{}
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	touched := map[uint64]struct{}{}
+	if since < d.entriesBase {
+		since = d.entriesBase
+	}
+	if since >= d.nextSeq {
+		return touched
+	}
+	for _, e := range d.entries[since-d.entriesBase:] {
+		switch e.Kind {
+		case oplog.KindWrite, oplog.KindTrim, oplog.KindRecovery, oplog.KindRecoveryTrim:
+			touched[e.LPN] = struct{}{}
+		}
+	}
+	return touched
+}
+
+// DropSegmentPages removes the page payloads of the device's i-th stored
+// segment from the version and chunk indexes — the retention-expiry
+// primitive. The evidence chain (entries, blobs, checkpoints) is kept for
+// forensics; only the retained page versions and their chunk references
+// go. A chunk's physical copy is freed only when the last page version
+// referencing it — from any device — is dropped. Each segment may be
+// dropped at most once.
+func (s *Store) DropSegmentPages(deviceID uint64, i int) error {
+	seg, err := s.FetchSegment(deviceID, i)
+	if err != nil {
+		return err
+	}
+	d, ok := s.lookup(deviceID)
+	if !ok {
+		return fmt.Errorf("%w: device %d", ErrNotFound, deviceID)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range seg.Pages {
+		vs := d.versions[p.LPN]
+		for j := range vs {
+			if vs[j].WriteSeq != p.WriteSeq {
+				continue
+			}
+			d.versions[p.LPN] = append(vs[:j], vs[j+1:]...)
+			if len(d.versions[p.LPN]) == 0 {
+				delete(d.versions, p.LPN)
+			}
+			d.pageBytes -= int64(len(p.Data))
+			s.chunks.release(p.Hash)
+			break
+		}
+	}
+	return nil
 }
 
 // Blobs exposes the storage tier the Store persists to (tier selection,
@@ -515,9 +621,11 @@ func (s *Store) Reload() error {
 	if err != nil {
 		return err
 	}
-	// Rebuild into a fresh directory and swap it in at the end, so a
-	// failed reload leaves the previous index intact.
+	// Rebuild into a fresh directory (and fresh chunk index) and swap
+	// both in at the end, so a failed reload leaves the previous index
+	// intact.
 	devices := map[uint64]*deviceLog{}
+	chunks := newChunkIndex()
 	dev := func(id uint64) *deviceLog {
 		d, ok := devices[id]
 		if !ok {
@@ -568,8 +676,14 @@ func (s *Store) Reload() error {
 				d.nextSeq = seg.Entries[len(seg.Entries)-1].Seq + 1
 				d.headHash = seg.Entries[len(seg.Entries)-1].Hash
 			}
-			for _, p := range seg.Pages {
-				d.versions[p.LPN] = insertVersion(d.versions[p.LPN], p)
+			for i := range seg.Pages {
+				p := &seg.Pages[i]
+				data, hit := chunks.intern(p.Hash, p.Data)
+				p.Data = data
+				if hit {
+					d.dedupHits++
+				}
+				d.versions[p.LPN] = insertVersion(d.versions[p.LPN], *p)
 				d.pageBytes += int64(len(p.Data))
 			}
 			d.segKeys = append(d.segKeys, key)
@@ -594,6 +708,7 @@ func (s *Store) Reload() error {
 		sort.Slice(d.checkpoints, func(i, j int) bool { return d.checkpoints[i].Seq < d.checkpoints[j].Seq })
 	}
 	s.devices = devices
+	s.chunks = chunks
 	return nil
 }
 
