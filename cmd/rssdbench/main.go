@@ -19,12 +19,18 @@
 //	rssdbench -exp dedup          # content-addressed restore: dedup+delta vs full-image, scaling curve
 //	rssdbench -exp datapath       # allocation-tracked hot loops + encode-worker vs inline-encode replay
 //	rssdbench -exp ingest         # server decode lane: saturated multi-session ingest vs modeled NIC
+//	rssdbench -exp qos            # shared-NIC QoS: restore storm vs offload + lifecycle, strict-priority vs FIFO
 //
 // -scale small uses the test-sized configuration for a quick pass, and
 // -short shrinks further to the CI smoke size (small scale, 2 devices —
 // an explicitly-set -devices is honored). -servers selects the ingest
 // server count for -exp fleet and is rejected elsewhere. -dedup toggles
 // the content-addressed restore path for -exp recovery (on by default).
+// -qos toggles strict-priority classing on the shared recovery NIC for
+// -exp recovery (on by default; false runs the FIFO baseline), and
+// -qosfloors sets the offload,lifecycle guaranteed floors for the
+// experiments that price the shared NIC (recovery, qos). Like -servers,
+// both are rejected for experiments that do not consume them.
 // -backend selects the storage tier(s) for -exp retention: mem, dir,
 // s3sim, a comma-separated list, or all.
 // -json additionally writes each experiment's rows to BENCH_<name>.json
@@ -49,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/netsim"
 	"repro/internal/remote"
 )
 
@@ -64,6 +71,8 @@ func run() int {
 	fleetServers := flag.Int("servers", 1, "ingest server count for -exp fleet (>1 runs the cluster control plane: consistent-hash placement, injected failover, scaling curve)")
 	backendFlag := flag.String("backend", "all", "storage tier(s) for -exp retention: mem, dir, s3sim, a comma list, or all")
 	dedupFlag := flag.Bool("dedup", true, "content-addressed restore (hash-ref chunks + checkpoint-anchored delta) for -exp recovery")
+	qosFlag := flag.Bool("qos", true, "strict-priority QoS on the shared recovery NIC for -exp recovery (false: FIFO baseline)")
+	qosFloors := flag.String("qosfloors", "0.10,0.05", "offload,lifecycle guaranteed floor fractions on the shared NIC for -exp recovery and qos")
 	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices (explicit -devices wins)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
@@ -88,6 +97,27 @@ func run() int {
 	if explicit["dedup"] && !slices.Contains(dedupExps, *exp) {
 		fmt.Fprintf(os.Stderr, "-dedup is not supported by -exp %s (supported: %s)\n",
 			*exp, strings.Join(dedupExps, ", "))
+		return 2
+	}
+	// The QoS knobs follow the same registry rule: -qos picks the arbiter
+	// mode for the recovery run (the qos experiment always measures both
+	// modes), -qosfloors configures any experiment that prices the shared
+	// NIC.
+	qosExps := []string{"recovery"}
+	if explicit["qos"] && !slices.Contains(qosExps, *exp) {
+		fmt.Fprintf(os.Stderr, "-qos is not supported by -exp %s (supported: %s)\n",
+			*exp, strings.Join(qosExps, ", "))
+		return 2
+	}
+	qosFloorExps := []string{"recovery", "qos"}
+	if explicit["qosfloors"] && !slices.Contains(qosFloorExps, *exp) {
+		fmt.Fprintf(os.Stderr, "-qosfloors is not supported by -exp %s (supported: %s)\n",
+			*exp, strings.Join(qosFloorExps, ", "))
+		return 2
+	}
+	floors, err := netsim.ParseFloors(*qosFloors)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-qosfloors %q: %v\n", *qosFloors, err)
 		return 2
 	}
 	if *fleetServers < 1 {
@@ -183,8 +213,10 @@ func run() int {
 				"devices": *fleetDevices,
 				"servers": *fleetServers,
 				"backend": *backendFlag,
-				"short":   *short,
-				"dedup":   *dedupFlag,
+				"short":     *short,
+				"dedup":     *dedupFlag,
+				"qos":       *qosFlag,
+				"qosfloors": *qosFloors,
 			},
 			"rows": rows,
 		}, "", "  ")
@@ -336,7 +368,8 @@ func run() int {
 	})
 
 	register("recovery", func() error {
-		res, err := experiment.FleetRecovery(s, *fleetDevices, *dedupFlag)
+		res, err := experiment.FleetRecovery(s, *fleetDevices, *dedupFlag,
+			netsim.Config{Floors: floors, FIFO: !*qosFlag})
 		if err != nil {
 			return err
 		}
@@ -373,6 +406,21 @@ func run() int {
 			*fleetDevices, ingestDevices)
 		fmt.Print(experiment.RenderDatapath(res))
 		return persist("datapath", res)
+	})
+
+	register("qos", func() error {
+		qosDevices := *fleetDevices
+		if !explicit["devices"] && !*short {
+			qosDevices = 64 // the contention story needs a fleet-sized storm
+		}
+		res, err := experiment.QoSRun(s, qosDevices, netsim.Config{Floors: floors})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Shared-NIC QoS — %d-device restore storm vs steady-state offload + lifecycle lanes, strict-priority vs FIFO\n",
+			res.Devices)
+		fmt.Print(experiment.RenderQoS(res))
+		return persist("qos", res)
 	})
 
 	register("ingest", func() error {

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/bufpool"
+	"repro/internal/netsim"
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
 	"repro/internal/remote"
@@ -94,8 +95,10 @@ type offloadEngine struct {
 }
 
 // newOffloadEngine starts the codec workers and the transfer goroutine for
-// one client session.
-func newOffloadEngine(client *remote.Client, depth, workers int, rtt simclock.Duration, mbps float64) *offloadEngine {
+// one client session. Transfers are priced by the device's offload-class
+// flow on the NIC arbiter — a shared server NIC when cfg.NIC is set, a
+// private single-flow arbiter otherwise.
+func newOffloadEngine(client *remote.Client, depth, workers int, flow *netsim.Flow) *offloadEngine {
 	if depth <= 0 {
 		depth = 8
 	}
@@ -127,7 +130,7 @@ func newOffloadEngine(client *remote.Client, depth, workers int, rtt simclock.Du
 			}
 			start := simclock.Max(st.encDoneAt, linkFree)
 			st.svc, st.err = client.PushSegmentBlobTimed(st.blob, st.seg.LastSeq)
-			linkFree = start.Add(xferDur(st.wire, rtt, mbps))
+			linkFree = flow.Grant(st.wire, start)
 			st.ackAt = linkFree.Add(st.svc)
 			// The wire bytes have left the device; the pooled blob goes back.
 			st.blobBuf.Release()
@@ -175,11 +178,6 @@ func encodeStaged(st *stagedSegment) {
 	st.pageBufs = nil
 }
 
-// xferDur models one segment's NVMe-oE transfer on the offload link.
-func xferDur(bytes int, rtt simclock.Duration, mbps float64) simclock.Duration {
-	return rtt + simclock.Duration(float64(bytes)/(mbps*1e6)*float64(simclock.Second))
-}
-
 // linkRTT and linkMBps resolve the configured link model with its defaults.
 func (r *RSSD) linkRTT() simclock.Duration {
 	if r.cfg.OffloadLinkRTT > 0 {
@@ -195,9 +193,38 @@ func (r *RSSD) linkMBps() float64 {
 	return 1200
 }
 
-// xferTime models one segment's NVMe-oE transfer on the offload link.
+// offloadFlow lazily opens this device's offload-class flow on the NIC
+// arbiter. With cfg.NIC set the flow contends on the shared server NIC
+// under the QoS policy; nil builds a private single-flow arbiter from the
+// legacy OffloadLinkRTT/MBps model, which prices transfers bit-identically
+// to the old dedicated link (sole flow, full line). The flow spans engine
+// restarts and closes with the device.
+func (r *RSSD) offloadFlow() *netsim.Flow {
+	if r.nicFlow == nil {
+		nic := r.cfg.NIC
+		if nic == nil {
+			nic = netsim.New(netsim.Config{MBps: r.linkMBps(), RTT: r.linkRTT()})
+		}
+		r.nicFlow = nic.Open(netsim.ClassOffload, 1)
+	}
+	return r.nicFlow
+}
+
+// nicRTT is the round trip of the NIC the offload flow actually rides —
+// the ack-floor lower bound must come from the same arbiter that prices
+// the grants.
+func (r *RSSD) nicRTT() simclock.Duration {
+	if r.cfg.NIC != nil {
+		return r.cfg.NIC.RTT()
+	}
+	return r.linkRTT()
+}
+
+// xferTime models one segment's NVMe-oE transfer on the offload link
+// (the synchronous baseline path; the async engine prices transfers on
+// its timed flow instead).
 func (r *RSSD) xferTime(bytes int) simclock.Duration {
-	return xferDur(bytes, r.linkRTT(), r.linkMBps())
+	return r.offloadFlow().GrantDur(bytes)
 }
 
 // encodeDur models compressing n marshal bytes on one codec lane.
@@ -213,7 +240,7 @@ func (r *RSSD) ensureEngine() *offloadEngine {
 			workers = 0 // inline encode at seal (the measured baseline)
 		}
 		r.engine = newOffloadEngine(r.client, r.cfg.OffloadQueueDepth, workers,
-			r.linkRTT(), r.linkMBps())
+			r.offloadFlow())
 	}
 	return r.engine
 }
@@ -236,10 +263,17 @@ func (r *RSSD) stopEngine() {
 	r.engine = nil
 }
 
-// Close releases the engine's worker goroutines. The device remains
-// usable (offload falls back to lazy engine start on the next watermark
-// crossing); call it when retiring a device instance.
-func (r *RSSD) Close() { r.stopEngine() }
+// Close releases the engine's worker goroutines and the device's NIC
+// flow. The device remains usable (offload falls back to lazy engine
+// start on the next watermark crossing); call it when retiring a device
+// instance.
+func (r *RSSD) Close() {
+	r.stopEngine()
+	if r.nicFlow != nil {
+		r.nicFlow.Close()
+		r.nicFlow = nil
+	}
+}
 
 // buildSegment seals one segment: the next run of unstaged log entries
 // plus the given retained pages, read on the NAND background lane into
@@ -329,7 +363,7 @@ func (r *RSSD) stage(batch []*retEntry, at simclock.Time) (simclock.Time, error)
 		st.encDoneAt = simclock.Max(st.sealedAt, at).Add(dur)
 		at = at.Add(dur)
 	}
-	st.ackFloor = st.encDoneAt.Add(r.linkRTT())
+	st.ackFloor = st.encDoneAt.Add(r.nicRTT())
 	// Backpressure: the bound is the firmware-side in-flight count, not
 	// the channel's instantaneous occupancy, so stalls depend only on
 	// simulated time, never on goroutine scheduling.

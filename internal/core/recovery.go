@@ -522,7 +522,7 @@ func (r *RSSD) RestoreImage(before uint64, opts RestoreOptions, at simclock.Time
 
 	applyChunk := func(pages []oplog.PageRecord, cs remote.ChunkStats) error {
 		if opts.Link != nil {
-			at = at.Add(opts.Link.ChunkTime(cs.WireBytes))
+			at = at.Add(opts.Link.ChunkTimeAt(cs.WireBytes, at))
 		}
 		rep.Chunks++
 		rep.BytesWire += uint64(cs.WireBytes)

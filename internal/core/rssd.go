@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/ftl"
+	"repro/internal/netsim"
 	"repro/internal/oplog"
 	"repro/internal/remote"
 	"repro/internal/simclock"
@@ -68,9 +69,17 @@ type Config struct {
 	// OffloadLinkRTT and OffloadLinkMBps model the NVMe-oE link the
 	// offload engine owns: one segment transfer costs
 	// RTT + bytes/bandwidth of simulated time, serialized on the link.
-	// Defaults: 30µs, 1200 MB/s.
+	// Defaults: 30µs, 1200 MB/s. Ignored when NIC is set.
 	OffloadLinkRTT  simclock.Duration
 	OffloadLinkMBps float64
+	// NIC, when set, is the shared server-NIC QoS arbiter this device's
+	// offload traffic is charged to (as one ClassOffload flow): transfers
+	// contend with fleet restore streams and lifecycle transfers under
+	// the arbiter's strict-priority + guaranteed-floor policy. nil keeps
+	// the legacy private link built from OffloadLinkRTT/MBps — a
+	// single-flow arbiter, so timing is bit-identical to the historical
+	// dedicated-link model.
+	NIC *netsim.Arbiter
 	// EncodeWorkers sizes the codec worker pool that compresses sealed
 	// segments off the firmware goroutine: seal hands raw segments to the
 	// workers, and the transfer goroutine ships encoded blobs in seal
@@ -252,6 +261,11 @@ type RSSD struct {
 	nextRedialAt  simclock.Time
 
 	engine *offloadEngine // asynchronous offload pipeline (lazy; nil in sync mode)
+	// nicFlow is this device's offload-class flow on the NIC arbiter
+	// (cfg.NIC, or a lazily built private one). It spans engine restarts —
+	// the device's NVMe-oE session on the server NIC — and closes with the
+	// device.
+	nicFlow *netsim.Flow
 
 	stats Stats
 }

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -195,43 +194,19 @@ func runDedupSetup(s Scale, srv *remote.Server, deviceID uint64, imagePages, uni
 }
 
 // runDedupRestore powers the device back on and restores the checkpointed
-// image, verifying page-identical.
+// image through the shared restore harness, verifying page-identical.
 func runDedupRestore(srv *remote.Server, link *remote.RecoveryLink, d *dedupDevice, deviceID uint64, dedup bool) error {
-	dial := func() (*remote.Client, error) { return remote.Loopback(srv, PSK, deviceID) }
-	d.cfg.Dial = dial
-	client, err := dial()
+	rd, err := restoreRun{
+		Server: srv, Link: link, ChunkPages: 64,
+		Dedup: dedup, Delta: dedup,
+	}.run(d.cfg, d.nand, deviceID, d.cut, d.want, d.endAt)
 	if err != nil {
 		return err
 	}
-	defer client.Close()
-	dev, err := core.Reopen(d.cfg, d.nand, client)
-	if err != nil {
-		return fmt.Errorf("reopen: %w", err)
-	}
-	defer dev.Close()
-
-	at, rep, err := dev.RestoreImage(d.cut, core.RestoreOptions{
-		Dial:       dial,
-		Link:       link,
-		ChunkPages: 64,
-		Dedup:      dedup,
-		Delta:      dedup,
-	}, d.endAt)
-	if err != nil {
-		return fmt.Errorf("restore: %w", err)
-	}
-	d.rep = rep
-	d.verified = true
-	for lpn, want := range d.want {
-		got, _, err := dev.Read(lpn, at)
-		if err != nil {
-			return fmt.Errorf("verify read lpn %d: %w", lpn, err)
-		}
-		if !bytes.Equal(got, want) {
-			d.verified = false
-			break
-		}
-	}
+	d.rep = rd.rep
+	d.verified = rd.verified
+	rd.dev.Close()
+	rd.client.Close()
 	return nil
 }
 

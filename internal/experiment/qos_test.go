@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// TestQoSScenario is the CI-sized shared-NIC QoS run: a restore storm
+// contending with steady-state offload and lifecycle lanes, measured
+// uncontended, under strict-priority QoS, and under the FIFO baseline.
+// QoSRun enforces its own gates (restore P99 bound, floors honored,
+// line-rate conservation, FIFO no better than QoS) and returns an error
+// when any fails, so the test mostly asserts shape.
+func TestQoSScenario(t *testing.T) {
+	res, err := QoSRun(SmallScale(), 4, netsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Devices != 4 {
+		t.Fatalf("device count: %+v", res)
+	}
+	if res.QoS.Restorers == 0 || res.QoS.Workers == 0 || res.QoS.Lifecycle == 0 {
+		t.Fatalf("qos cohort missing a traffic source: %+v", res.QoS)
+	}
+	if !res.Uncontended.Verified || !res.QoS.Verified || !res.FIFO.Verified {
+		t.Fatal("a cohort restored images that were not page-identical")
+	}
+	if res.P99Ratio > 2.0 {
+		t.Fatalf("contended restore P99 %.2fx uncontended exceeds the 2x gate", res.P99Ratio)
+	}
+	if res.QoS.Classes[netsim.ClassRestore].Throttled == 0 {
+		t.Fatal("qos cohort restores were never priced under cross-class contention")
+	}
+	if res.OffloadMinMBps < res.OffloadFloorMBps*0.999 {
+		t.Fatalf("offload dipped below its floor: min %.1f < floor %.1f MBps",
+			res.OffloadMinMBps, res.OffloadFloorMBps)
+	}
+}

@@ -1,10 +1,8 @@
 package experiment
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
-	"net"
 	"sync"
 
 	"repro/internal/attack"
@@ -14,6 +12,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/metrics"
 	"repro/internal/nand"
+	"repro/internal/netsim"
 	"repro/internal/oplog"
 	"repro/internal/remote"
 	"repro/internal/simclock"
@@ -82,6 +81,12 @@ type RecoverySummary struct {
 	TotalRedials uint64
 	MaxDrainMs   float64
 
+	// Shared-NIC QoS ledger: restores, the post-restore offload drain, and
+	// any lifecycle traffic all rode one arbiter. QoS false means the run
+	// used the FIFO (classless) baseline.
+	QoS      bool
+	NICStats [netsim.NumClasses]netsim.QoSStats
+
 	// Dedup ledger (zero on non-dedup runs): pages by wire form across the
 	// fleet, the derived hit rate, and the store-side content dedup.
 	LiteralPages     int
@@ -111,8 +116,12 @@ type recoveredDevice struct {
 // FleetRecovery runs the fleet power-cycle recovery scenario. With dedup
 // set, restores ride the content-addressed path: hash-reference chunks
 // resolved from a device-side cache plus a checkpoint-anchored delta that
-// streams only pages touched since the pre-attack checkpoint.
-func FleetRecovery(s Scale, devices int, dedup bool) (*RecoveryFleetResult, error) {
+// streams only pages touched since the pre-attack checkpoint. nicCfg
+// sizes the server's shared-NIC QoS arbiter, which both the restore
+// streams and the post-restore offload drain are charged to (zero value:
+// netsim defaults — strict priority, standard floors; FIFO true runs the
+// classless baseline).
+func FleetRecovery(s Scale, devices int, dedup bool, nicCfg netsim.Config) (*RecoveryFleetResult, error) {
 	if devices <= 0 {
 		devices = 8
 	}
@@ -121,7 +130,9 @@ func FleetRecovery(s Scale, devices int, dedup bool) (*RecoveryFleetResult, erro
 	srv := remote.NewServer(store, PSK)
 	engine := detect.NewEngine(detectConfig(s))
 	engine.Attach(store)
-	link := remote.NewRecoveryLink(0, 0) // default server-NIC model
+	nic := netsim.New(nicCfg)
+	srv.NIC = nic
+	link := remote.NewRecoveryLinkOn(nic) // restore class on the shared NIC
 
 	// The mid-restore disconnect victim: an attacked device when there is
 	// one (odd indexes attack), else the only device.
@@ -158,6 +169,10 @@ func FleetRecovery(s Scale, devices int, dedup bool) (*RecoveryFleetResult, erro
 	// restore + verify + outage drain. The barrier above means every
 	// device starts recovering at once: this is the fleet-wide incident.
 	for i := 0; i < devices; i++ {
+		// The reopened device's offload drain rides the same shared NIC the
+		// restore streams do — that cross-class traffic is what the QoS
+		// arbiter exists to schedule.
+		devs[i].cfg.NIC = nic
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -187,6 +202,7 @@ func FleetRecovery(s Scale, devices int, dedup bool) (*RecoveryFleetResult, erro
 	sum := RecoverySummary{
 		Devices: devices, AllVerified: true, PeakSessions: link.PeakSessions(),
 		ChainsVerified: chainsOK, Dedup: dedup,
+		QoS: !nic.FIFO(), NICStats: nic.Stats(),
 	}
 	var totalRTO, maxRTO simclock.Duration
 	var logicalBytes uint64
@@ -350,48 +366,16 @@ func runRecoverySetup(s Scale, srv *remote.Server, engine *detect.Engine, device
 // when choked), verify page-identical, then drain the restore backlog
 // across a simulated offload outage via the redial path.
 func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recoveredDevice, deviceID uint64, choke, dedup bool) error {
-	dial := func() (*remote.Client, error) { return remote.Loopback(srv, PSK, deviceID) }
-	d.cfg.Dial = dial // the reopened device redials dead offload sessions itself
-
-	client, err := dial()
+	rd, err := restoreRun{
+		Server: srv, Link: link, ChunkPages: 16,
+		Dedup: dedup, Delta: dedup, Choke: choke,
+	}.run(d.cfg, d.nand, deviceID, d.cut, d.want, d.endAt)
 	if err != nil {
 		return err
 	}
-	dev, err := core.Reopen(d.cfg, d.nand, client)
-	if err != nil {
-		return fmt.Errorf("reopen: %w", err)
-	}
+	dev, at, rep := rd.dev, rd.at, rd.rep
 	defer dev.Close()
 
-	// The choked device's first recovery session dies mid-stream: the
-	// restorer must resume from its cursor on a fresh session.
-	restoreDial := dial
-	if choke {
-		dials := 0
-		restoreDial = func() (*remote.Client, error) {
-			dials++
-			if dials == 1 {
-				dc, sc := net.Pipe()
-				go srv.HandleConn(sc)
-				// Handshake (2 reads) + one 3-read chunk frame: the link
-				// dies with the first chunk applied and the rest unsent.
-				return remote.Dial(remote.NewChokeConn(dc, 5), PSK, deviceID)
-			}
-			return dial()
-		}
-	}
-
-	at := d.endAt
-	at, rep, err := dev.RestoreImage(d.cut, core.RestoreOptions{
-		Dial:       restoreDial,
-		Link:       link,
-		ChunkPages: 16,
-		Dedup:      dedup,
-		Delta:      dedup,
-	}, at)
-	if err != nil {
-		return fmt.Errorf("restore: %w", err)
-	}
 	d.row.RTOms = float64(rep.RTO) / 1e6
 	d.row.RestoredPages = rep.PagesRestored
 	d.row.ZeroedPages = rep.PagesZeroed
@@ -406,27 +390,12 @@ func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recove
 	if dedup && rep.Anchor == 0 {
 		return fmt.Errorf("dedup restore found no checkpoint anchor")
 	}
-	if choke && rep.Resumes == 0 {
-		return fmt.Errorf("choked device restored without a resume (disconnect not exercised)")
-	}
-
-	// Page-identical verification against the pre-attack snapshot.
-	d.row.Verified = true
-	for lpn, want := range d.want {
-		got, _, err := dev.Read(lpn, at)
-		if err != nil {
-			return fmt.Errorf("verify read lpn %d: %w", lpn, err)
-		}
-		if !bytes.Equal(got, want) {
-			d.row.Verified = false
-			break
-		}
-	}
+	d.row.Verified = rd.verified
 	d.row.BacklogPages = dev.Stats().RetainedNow
 
 	// Simulated outage: the offload session dies with restore backlog
 	// still retained; the engine must redial and drain it.
-	client.Close()
+	rd.client.Close()
 	drainStart := at
 	at, err = dev.OffloadNow(at)
 	if err != nil {
@@ -486,5 +455,10 @@ func RenderFleetRecovery(res *RecoveryFleetResult) string {
 			s.LiteralPages, s.RefPages, s.DedupHitRate*100,
 			s.StoreUniquePages, s.StoreTotalRefs, s.StoreHitRate*100)
 	}
+	mode := "strict-priority qos"
+	if !s.QoS {
+		mode = "fifo baseline"
+	}
+	out += "shared NIC (" + mode + "):\n" + qosStatsTable(s.NICStats).String()
 	return out
 }

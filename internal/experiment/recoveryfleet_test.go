@@ -1,12 +1,16 @@
 package experiment
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
 
 // TestFleetRecoveryScenario is the CI-sized fleet power-cycle recovery
 // run: 2 devices (one attacked), concurrent restore, one deliberately cut
 // recovery link, verified rollback, and an outage-drain with redial.
 func TestFleetRecoveryScenario(t *testing.T) {
-	res, err := FleetRecovery(SmallScale(), 2, false)
+	res, err := FleetRecovery(SmallScale(), 2, false, netsim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,6 +42,12 @@ func TestFleetRecoveryScenario(t *testing.T) {
 	if s.TotalRedials < uint64(s.Devices) {
 		t.Fatalf("outage did not exercise redial on every device: %d", s.TotalRedials)
 	}
+	if !s.QoS {
+		t.Fatal("default run did not use strict-priority QoS on the shared NIC")
+	}
+	if s.NICStats[netsim.ClassRestore].Grants == 0 || s.NICStats[netsim.ClassOffload].Grants == 0 {
+		t.Fatalf("shared NIC ledger missing a traffic class: %+v", s.NICStats)
+	}
 	for _, r := range res.Rows {
 		if r.SnapshotPages == 0 || !r.Verified {
 			t.Fatalf("device %d: %+v", r.Device, r)
@@ -53,7 +63,7 @@ func TestFleetRecoveryScenario(t *testing.T) {
 // delta — through the same choked-link resume and outage drain, with the
 // same page-identical verification.
 func TestFleetRecoveryDedup(t *testing.T) {
-	res, err := FleetRecovery(SmallScale(), 2, true)
+	res, err := FleetRecovery(SmallScale(), 2, true, netsim.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,6 +68,29 @@ const (
 	FetchFlagDedup uint8 = 1 << 0
 )
 
+// GrantQuantumBytes is the transfer quantum restore chunking targets on
+// the shared-NIC QoS arbiter: one streamed chunk is one arbiter grant, so
+// a ~512 KiB quantum bounds cross-class head-of-line blocking (a grant in
+// flight delays a higher-priority class by at most quantum/allocation)
+// without paying per-page grant accounting.
+const GrantQuantumBytes = 512 << 10
+
+// ChunkPagesForQuantum sizes FetchReq.ChunkPages so one chunk's logical
+// payload lands near the grant quantum for the given page size (at least
+// one page; 0 for a non-positive page size, deferring to the server
+// default). With 4 KiB pages this is 128 — exactly the server's default
+// chunking.
+func ChunkPagesForQuantum(pageSize int) uint32 {
+	if pageSize <= 0 {
+		return 0
+	}
+	n := GrantQuantumBytes / pageSize
+	if n < 1 {
+		n = 1
+	}
+	return uint32(n)
+}
+
 // ErrBadMessage reports a payload that does not decode.
 var ErrBadMessage = errors.New("nvmeoe: malformed message payload")
 

@@ -5,6 +5,8 @@ import (
 	"net"
 	"sort"
 	"sync"
+
+	"repro/internal/netsim"
 )
 
 // The fleet control plane: a Cluster fronts N ingest servers over one
@@ -32,6 +34,10 @@ type ClusterConfig struct {
 	PSK []byte
 	// Server is the per-server ingest config (decode lane sizing).
 	Server ServerConfig
+	// NIC sizes each server's egress-NIC QoS arbiter (one arbiter per
+	// server — servers have independent NICs). The zero value selects the
+	// netsim defaults (3000 MB/s line, 50µs RTT, standard floors).
+	NIC netsim.Config
 	// VirtualNodes per weight-100 server (0: DefaultVirtualNodes).
 	VirtualNodes int
 	// LoadFactor bounds per-server device count at LoadFactor×mean
@@ -145,6 +151,7 @@ func NewCluster(store *Store, cfg ClusterConfig) *Cluster {
 	for i := 0; i < cfg.Servers; i++ {
 		srv := NewServer(store, cfg.PSK)
 		srv.Config = cfg.Server
+		srv.NIC = netsim.New(cfg.NIC)
 		c.nodes = append(c.nodes, &clusterNode{id: i, srv: srv, alive: true, weight: 100})
 		ring.AddNode(i, 100)
 	}

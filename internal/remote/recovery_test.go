@@ -184,9 +184,30 @@ func TestRecoveryLinkFairShare(t *testing.T) {
 	if l.Active() != 0 || l.PeakSessions() != 3 {
 		t.Fatalf("active=%d peak=%d", l.Active(), l.PeakSessions())
 	}
-	// An unconfigured link still prices transfers (defaults).
+	// An unconfigured link still prices transfers (defaults), and the
+	// zero value must behave exactly like NewRecoveryLink(0, 0) — the
+	// contract the arbiter delegation shim must not drift from.
 	var def RecoveryLink
 	if def.ChunkTime(1<<20) <= 0 {
 		t.Fatal("default link priced a chunk at zero")
+	}
+	ctor := NewRecoveryLink(0, 0)
+	if got, want := def.ChunkTime(1<<20), ctor.ChunkTime(1<<20); got != want {
+		t.Fatalf("zero-value ChunkTime %v != NewRecoveryLink(0,0) %v", got, want)
+	}
+	rel := def.Open()
+	relC := ctor.Open()
+	if got, want := def.ChunkTime(1<<20), ctor.ChunkTime(1<<20); got != want {
+		t.Fatalf("zero-value open-session ChunkTime %v != constructor's %v", got, want)
+	}
+	rel()
+	relC()
+	if def.Active() != ctor.Active() || def.PeakSessions() != ctor.PeakSessions() {
+		t.Fatalf("zero-value session ledger (%d/%d) != constructor's (%d/%d)",
+			def.Active(), def.PeakSessions(), ctor.Active(), ctor.PeakSessions())
+	}
+	// The defaults are the arbiter defaults: one constant set, not two.
+	if def.Arbiter().LineMBps() != DefaultRecoveryMBps || def.Arbiter().RTT() != DefaultRecoveryRTT {
+		t.Fatal("zero-value link did not resolve the documented defaults")
 	}
 }

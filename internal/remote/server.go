@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bufpool"
+	"repro/internal/netsim"
 	"repro/internal/nvmeoe"
 	"repro/internal/oplog"
 	"repro/internal/simclock"
@@ -34,6 +35,13 @@ type Server struct {
 	// Config tunes the ingest path (decode lane sizing). Set it before the
 	// first connection is served.
 	Config ServerConfig
+	// NIC is this server's egress-NIC QoS arbiter: the single shared link
+	// that restore streams, device offload traffic, and lifecycle
+	// transfers all contend on (internal/netsim). Set it before sessions
+	// attach, or let NICArbiter build the default one lazily. Experiments
+	// wire it into device configs (core.Config.NIC) and restore links
+	// (NewRecoveryLinkOn) so every traffic class is priced on one line.
+	NIC *netsim.Arbiter
 
 	mu            sync.Mutex
 	conns         map[net.Conn]uint64 // active session -> device ID
@@ -119,6 +127,17 @@ func (s *Server) addRecovery(deviceID uint64, d RecoveryStats) {
 	rs.PagesRef += d.PagesRef
 	rs.BytesDedupSaved += d.BytesDedupSaved
 	rs.DeltaStreams += d.DeltaStreams
+}
+
+// NICArbiter returns the server's egress-NIC arbiter, lazily building a
+// default-configured one when none was assigned.
+func (s *Server) NICArbiter() *netsim.Arbiter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.NIC == nil {
+		s.NIC = netsim.New(netsim.Config{})
+	}
+	return s.NIC
 }
 
 // NewServer returns a server over store that accepts any device presenting
