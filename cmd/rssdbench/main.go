@@ -20,6 +20,7 @@
 //	rssdbench -exp datapath       # allocation-tracked hot loops + encode-worker vs inline-encode replay
 //	rssdbench -exp ingest         # server decode lane: saturated multi-session ingest vs modeled NIC
 //	rssdbench -exp qos            # shared-NIC QoS: restore storm vs offload + lifecycle, strict-priority vs FIFO
+//	rssdbench -exp soak           # chaos soak: multi-day horizon, seeded fault injection, continuous invariants
 //
 // -scale small uses the test-sized configuration for a quick pass, and
 // -short shrinks further to the CI smoke size (small scale, 2 devices —
@@ -74,6 +75,7 @@ func run() int {
 	qosFlag := flag.Bool("qos", true, "strict-priority QoS on the shared recovery NIC for -exp recovery (false: FIFO baseline)")
 	qosFloors := flag.String("qosfloors", "0.10,0.05", "offload,lifecycle guaranteed floor fractions on the shared NIC for -exp recovery and qos")
 	short := flag.Bool("short", false, "CI smoke size: small scale, 2 devices (explicit -devices wins)")
+	seedFlag := flag.Int64("seed", 1, "chaos schedule seed for -exp soak (every fault draw replays from it)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
 	flag.Parse()
@@ -84,7 +86,7 @@ func run() int {
 	// -servers is a fleet-experiment knob; like an unknown -exp it is
 	// rejected early — with the list of experiments that support it —
 	// rather than silently ignored for an hour-long run.
-	serverExps := []string{"fleet"}
+	serverExps := []string{"fleet", "soak"}
 	if explicit["servers"] && !slices.Contains(serverExps, *exp) {
 		fmt.Fprintf(os.Stderr, "-servers is not supported by -exp %s (supported: %s)\n",
 			*exp, strings.Join(serverExps, ", "))
@@ -107,6 +109,14 @@ func run() int {
 	if explicit["qos"] && !slices.Contains(qosExps, *exp) {
 		fmt.Fprintf(os.Stderr, "-qos is not supported by -exp %s (supported: %s)\n",
 			*exp, strings.Join(qosExps, ", "))
+		return 2
+	}
+	// -seed is the chaos schedule's replay handle; only the soak draws
+	// from it, so anywhere else it is a typo worth stopping on.
+	seedExps := []string{"soak"}
+	if explicit["seed"] && !slices.Contains(seedExps, *exp) {
+		fmt.Fprintf(os.Stderr, "-seed is not supported by -exp %s (supported: %s)\n",
+			*exp, strings.Join(seedExps, ", "))
 		return 2
 	}
 	qosFloorExps := []string{"recovery", "qos"}
@@ -217,6 +227,7 @@ func run() int {
 				"dedup":     *dedupFlag,
 				"qos":       *qosFlag,
 				"qosfloors": *qosFloors,
+				"seed":      *seedFlag,
 			},
 			"rows": rows,
 		}, "", "  ")
@@ -421,6 +432,37 @@ func run() int {
 			res.Devices)
 		fmt.Print(experiment.RenderQoS(res))
 		return persist("qos", res)
+	})
+
+	register("soak", func() error {
+		devices, servers, waves := *fleetDevices, *fleetServers, 16
+		if !explicit["devices"] && !*short {
+			devices = 16 // the full horizon wants a real fleet
+		}
+		if !explicit["servers"] {
+			servers = 3
+		}
+		if *short {
+			waves = 3
+			if !explicit["devices"] {
+				devices = 3
+			}
+		}
+		res, err := experiment.Soak(s, experiment.SoakOptions{
+			Devices: devices, Servers: servers, Waves: waves,
+			Seed: *seedFlag, Short: *short,
+		})
+		fmt.Printf("Chaos soak — %d devices / %d servers / %d waves under seeded fault injection with continuous invariants\n",
+			devices, servers, waves)
+		// A failed soak still renders and persists its ledger: the report
+		// (and the reproducing seed in err) is the debugging artifact.
+		if res != nil {
+			fmt.Print(experiment.RenderSoak(res))
+			if perr := persist("soak", res); perr != nil && err == nil {
+				err = perr
+			}
+		}
+		return err
 	})
 
 	register("ingest", func() error {

@@ -23,6 +23,7 @@ import (
 	"compress/flate"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Size classes are powers of two from minClassBytes to maxClassBytes.
@@ -44,9 +45,23 @@ const (
 // BlobOverhead+len, SegmentBlobLogicalSize).
 type Buf struct {
 	B []byte
+	// cls records the rental's size class for the outstanding gauge:
+	// class+1 for pooled classes, oversizeClass for above-max rentals,
+	// 0 for a buffer not currently rented (or never Get-issued). Keeping
+	// it on the Buf makes the gauge exact even when append growth moves
+	// B onto a capacity Release would otherwise misclassify.
+	cls int8
 }
 
-var pools [numClasses]sync.Pool
+const oversizeClass = -1
+
+var (
+	pools [numClasses]sync.Pool
+	// outstanding is the Get/Release balance per size class (plus the
+	// above-max rentals that never pool); see Outstanding.
+	outstanding [numClasses]atomic.Int64
+	oversizeOut atomic.Int64
+)
 
 // classFor returns the smallest class index holding n bytes, or -1 when n
 // exceeds the largest class.
@@ -66,13 +81,16 @@ func classFor(n int) int {
 func Get(n int) *Buf {
 	c := classFor(n)
 	if c < 0 {
-		return &Buf{B: make([]byte, 0, n)}
+		oversizeOut.Add(1)
+		return &Buf{B: make([]byte, 0, n), cls: oversizeClass}
 	}
+	outstanding[c].Add(1)
 	if b, _ := pools[c].Get().(*Buf); b != nil {
 		b.B = b.B[:0]
+		b.cls = int8(c + 1)
 		return b
 	}
-	return &Buf{B: make([]byte, 0, 1<<(minClassShift+c))}
+	return &Buf{B: make([]byte, 0, 1<<(minClassShift+c)), cls: int8(c + 1)}
 }
 
 // Release returns the buffer to its pool (classified by current capacity)
@@ -82,6 +100,17 @@ func Get(n int) *Buf {
 func (b *Buf) Release() {
 	if b == nil || cap(b.B) == 0 {
 		return
+	}
+	// Settle the gauge by the class the rental was issued at (not the
+	// current capacity): a grown-then-dropped buffer still balances, and a
+	// double release cannot decrement twice.
+	switch {
+	case b.cls > 0:
+		outstanding[b.cls-1].Add(-1)
+		b.cls = 0
+	case b.cls == oversizeClass:
+		oversizeOut.Add(-1)
+		b.cls = 0
 	}
 	// Only exact class-sized capacities go back: append growth lands on
 	// arbitrary capacities, and re-classifying a 6000-byte array as the
@@ -167,6 +196,11 @@ type Inflater struct {
 	dist huffTable
 	clen huffTable
 	lens [286 + 30]uint8 // dynamic-header code lengths (hlit + hdist max)
+	// limit, when positive, bounds the decoded output size (AppendLimited):
+	// a stream that tries to produce more is corrupt by the caller's
+	// framing, and aborting early keeps a flipped-bit blob from inflating
+	// without bound on the ingest path.
+	limit int
 }
 
 var inflaters = sync.Pool{New: func() any { return &Inflater{} }}
@@ -189,5 +223,17 @@ func (i *Inflater) Release() {
 // with dst partially extended); the caller's pooled buffer discipline makes
 // partial output harmless.
 func (i *Inflater) Append(dst, p []byte) ([]byte, error) {
+	i.limit = 0
 	return i.inflate(dst, p)
+}
+
+// AppendLimited is Append with an output bound: decoding fails with
+// ErrCorrupt as soon as the stream would exceed max decoded bytes. Callers
+// whose framing records the expected decoded size (the segment codec
+// header) pass it here so corrupted streams cannot balloon memory.
+func (i *Inflater) AppendLimited(dst, p []byte, max int) ([]byte, error) {
+	i.limit = max
+	out, err := i.inflate(dst, p)
+	i.limit = 0
+	return out, err
 }

@@ -278,7 +278,7 @@ func (i *Inflater) inflate(dst, p []byte) ([]byte, error) {
 		var err error
 		switch typ {
 		case 0:
-			dst, err = i.stored(dst)
+			dst, err = i.stored(dst, start)
 		case 1:
 			dst, err = i.block(dst, start, &fixedLit, &fixedDist)
 		case 2:
@@ -300,7 +300,7 @@ func (i *Inflater) inflate(dst, p []byte) ([]byte, error) {
 }
 
 // stored copies a §3.2.4 uncompressed block.
-func (i *Inflater) stored(dst []byte) ([]byte, error) {
+func (i *Inflater) stored(dst []byte, start int) ([]byte, error) {
 	r := &i.br
 	r.alignByte()
 	ln := r.take(16)
@@ -312,6 +312,9 @@ func (i *Inflater) stored(dst []byte) ([]byte, error) {
 		return dst, ErrCorrupt
 	}
 	length := int(ln)
+	if i.limit > 0 && len(dst)-start+length > i.limit {
+		return dst, ErrCorrupt
+	}
 	// Drain whole bytes already buffered in the accumulator, then bulk-copy
 	// the rest straight from the input.
 	for length > 0 && r.n >= 8 {
@@ -333,6 +336,9 @@ func (i *Inflater) stored(dst []byte) ([]byte, error) {
 func (i *Inflater) block(dst []byte, start int, lit, dist *huffTable) ([]byte, error) {
 	r := &i.br
 	for {
+		if i.limit > 0 && len(dst)-start > i.limit {
+			return dst, ErrCorrupt
+		}
 		sym := lit.readSym(r)
 		if sym < 0 {
 			return dst, r.err

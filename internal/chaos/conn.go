@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"net"
+
+	"repro/internal/remote"
+)
+
+// WrapConn is the remote.ClusterConfig.WrapConn hook: every session the
+// soak's devices (and their mid-run restores) dial passes through here,
+// and a drawn fraction come back doomed. Two dooms exist:
+//
+//   - ClassConn: the conn gets a read budget (remote.ChokeConn), after
+//     which reads fail — the session dies mid-push or mid-restore and
+//     the device must redial, resync via Head, and resume;
+//   - ClassWire: exactly one outbound ciphertext write gets a bit
+//     flipped in flight. The server's frame MAC rejects it and tears the
+//     session down from the far end — the device sees the same death as
+//     a cut link, through a different failure surface.
+//
+// Both are drawn per (device, dial ordinal), so a redial after a fault
+// is a fresh draw: fault storms cluster exactly as the seed dictates and
+// nowhere else.
+func (inj *Injector) WrapConn(dev uint64, nc net.Conn) net.Conn {
+	s := inj.Sched
+	inj.mu.Lock()
+	n := inj.dials[dev]
+	inj.dials[dev] = n + 1
+	cut := s.hit(s.Rates.ConnCut, ClassConn, dev, n)
+	mut := s.hit(s.Rates.WireMutate, ClassWire, dev, n)
+	if cut {
+		inj.armLocked(ClassConn, dev)
+	}
+	if mut {
+		inj.armLocked(ClassWire, dev)
+	}
+	inj.mu.Unlock()
+	if mut {
+		nc = &mutConn{
+			Conn: nc,
+			skip: s.pick(6, ClassWire, dev, n^0x5717),
+			bit:  s.hash(ClassWire, dev, n^0xb17),
+		}
+	}
+	if cut {
+		// At least 4 read calls lets the handshake finish: the cut lands
+		// mid-session, not at connect.
+		nc = remote.NewChokeConn(nc, 4+s.pick(28, ClassConn, dev, n^0xc07))
+	}
+	return nc
+}
+
+// mutConn flips one drawn bit in one outbound ciphertext write. Only
+// writes longer than a MAC tag (32 bytes) are candidates: the secure
+// frame layer writes header (fixed size), ciphertext, and tag as
+// separate Writes, and mutating the header's length field could desync
+// the stream into a read deadlock instead of a clean MAC rejection.
+// Mutating ciphertext always produces an authentication failure — the
+// exact "corrupted frame on the wire" case the ingest hardening handles.
+type mutConn struct {
+	net.Conn
+	skip int    // candidate writes to pass through before striking
+	bit  uint64 // draw source for the flipped position
+	done bool
+}
+
+func (c *mutConn) Write(p []byte) (int, error) {
+	if c.done || len(p) <= 32 {
+		return c.Conn.Write(p)
+	}
+	if c.skip > 0 {
+		c.skip--
+		return c.Conn.Write(p)
+	}
+	c.done = true
+	mutant := append([]byte(nil), p...)
+	pos := int(c.bit % uint64(len(mutant)))
+	mutant[pos] ^= 1 << uint(mix(c.bit)%8)
+	n, err := c.Conn.Write(mutant)
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/remote"
+	"repro/internal/simclock"
+)
+
+// ErrInjected marks every error the injector fabricates, so callers and
+// tests can tell a scheduled fault from a genuine backend failure.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// FaultStore wraps the ObjectStore backend beneath a remote.Store with
+// seed-scheduled tier faults:
+//
+//   - the first Put of a key may fail transiently (ClassTier). Ingest
+//     rejects the segment before touching its chain index, the device's
+//     offload engine requeues, and the retried Put (same key, now past
+//     its first touch) succeeds — healed when the device next observes
+//     healthy;
+//   - the first Get of a segment key may fail transiently (ClassTier).
+//     The soak's retention tick is the Get path; it retries and heals;
+//   - the first Put of a key may instead draw a service-time spike,
+//     surfaced through the ServiceTimeModeler seam so the stall prices
+//     into the device's offload ack latency like a real slow tier.
+//
+// Faults are first-touch-per-key so a retry of the faulted op always
+// lands: the injector tests recovery, it does not create permanently
+// unreachable state.
+type FaultStore struct {
+	inner remote.ObjectStore
+	inj   *Injector
+}
+
+// WrapStore interposes the injector between a remote.Store and its
+// backend tier.
+func (inj *Injector) WrapStore(inner remote.ObjectStore) *FaultStore {
+	return &FaultStore{inner: inner, inj: inj}
+}
+
+// keyDevice parses the device ID out of the store's blob-key convention
+// ("dev/<id>/seg/<seq>", "dev/<id>/cp/<seq>").
+func keyDevice(key string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(key, "dev/")
+	if !ok {
+		return 0, false
+	}
+	i := strings.IndexByte(rest, '/')
+	if i < 0 {
+		return 0, false
+	}
+	dev, err := strconv.ParseUint(rest[:i], 10, 64)
+	return dev, err == nil
+}
+
+// tierPut draws the first-touch Put fault for key. Caller is about to
+// issue the real Put if nil is returned.
+func (inj *Injector) tierPut(key string) error {
+	s := inj.Sched
+	kh := fnv64(key)
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if _, seen := inj.putSeen[key]; seen {
+		return nil
+	}
+	inj.putSeen[key] = struct{}{}
+	if s.hit(s.Rates.TierErr, ClassTier, kh, 0) {
+		if dev, ok := keyDevice(key); ok {
+			inj.armLocked(ClassTier, dev)
+		} else {
+			// No device to observe healing through; count the round trip
+			// the caller's immediate retry makes as the heal.
+			inj.counts[ClassTier].Injected++
+			inj.counts[ClassTier].Healed++
+			inj.heal[ClassTier] = append(inj.heal[ClassTier], 0)
+		}
+		return fmt.Errorf("%w: tier put %s", ErrInjected, key)
+	}
+	if s.hit(s.Rates.TierSlow, ClassTier, kh, 2) {
+		// A slow tier heals by definition when the op completes: the
+		// injected latency IS the heal latency, and the spike queues for
+		// the ServiceTimeModeler seam so the ack path actually pays it.
+		spike := s.spike()
+		inj.counts[ClassTier].Injected++
+		inj.counts[ClassTier].Healed++
+		inj.heal[ClassTier] = append(inj.heal[ClassTier], spike)
+		inj.spikes = append(inj.spikes, spike)
+	}
+	return nil
+}
+
+// tierGet draws the first-touch Get fault for key. Only segment blobs
+// are candidates: they are the keys with a retrying reader (the
+// retention tick); checkpoint fetches feed restore sessions that must
+// not be failed from below mid-stream.
+func (inj *Injector) tierGet(key string) error {
+	s := inj.Sched
+	if !strings.Contains(key, "/seg/") {
+		return nil
+	}
+	kh := fnv64(key)
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if _, seen := inj.getSeen[key]; seen {
+		return nil
+	}
+	inj.getSeen[key] = struct{}{}
+	if !s.hit(s.Rates.TierErr, ClassTier, kh, 1) {
+		return nil
+	}
+	if dev, ok := keyDevice(key); ok {
+		inj.armLocked(ClassTier, dev)
+	} else {
+		inj.counts[ClassTier].Injected++
+		inj.counts[ClassTier].Healed++
+		inj.heal[ClassTier] = append(inj.heal[ClassTier], 0)
+	}
+	return fmt.Errorf("%w: tier get %s", ErrInjected, key)
+}
+
+// takeSpike drains one queued service-time spike, if any.
+func (inj *Injector) takeSpike() simclock.Duration {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if len(inj.spikes) == 0 {
+		return 0
+	}
+	s := inj.spikes[0]
+	inj.spikes = inj.spikes[1:]
+	return s
+}
+
+// Put implements remote.ObjectStore.
+func (f *FaultStore) Put(key string, data []byte) error {
+	if err := f.inj.tierPut(key); err != nil {
+		return err
+	}
+	return f.inner.Put(key, data)
+}
+
+// Get implements remote.ObjectStore.
+func (f *FaultStore) Get(key string) ([]byte, error) {
+	if err := f.inj.tierGet(key); err != nil {
+		return nil, err
+	}
+	return f.inner.Get(key)
+}
+
+// List implements remote.ObjectStore (passthrough).
+func (f *FaultStore) List(prefix string) ([]string, error) { return f.inner.List(prefix) }
+
+// Delete implements remote.ObjectStore (passthrough).
+func (f *FaultStore) Delete(key string) error { return f.inner.Delete(key) }
+
+// PutServiceTime implements remote.ServiceTimeModeler: the inner tier's
+// modeled latency (if any) plus any queued injected spike — so a
+// TierSlow draw shows up in the device's offload ack time exactly like a
+// genuinely slow backend.
+func (f *FaultStore) PutServiceTime(n int) simclock.Duration {
+	var base simclock.Duration
+	if m, ok := f.inner.(remote.ServiceTimeModeler); ok {
+		base = m.PutServiceTime(n)
+	}
+	return base + f.inj.takeSpike()
+}

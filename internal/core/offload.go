@@ -152,7 +152,17 @@ func (r *RSSD) OffloadNow(at simclock.Time) (simclock.Time, error) {
 			}
 			// A full stage+drain round made no progress (a successful
 			// redial counts as progress — the next round ships on the new
-			// session): surface the error instead of spinning.
+			// session): surface the error instead of spinning. A dead
+			// session that exhausted its wait budget gets the typed
+			// ErrRedialExhausted so callers can tell "gave up" from a
+			// transient failure that healed slowly.
+			if r.sessionDead && r.cfg.Dial != nil && redialWaits >= maxRedialWaits {
+				r.stats.RedialExhausted++
+				if r.lastOffloadErr != nil {
+					return at, fmt.Errorf("%w after %d waits: %v", ErrRedialExhausted, redialWaits, r.lastOffloadErr)
+				}
+				return at, fmt.Errorf("%w after %d waits", ErrRedialExhausted, redialWaits)
+			}
 			if r.lastOffloadErr != nil {
 				return at, r.lastOffloadErr
 			}

@@ -184,6 +184,11 @@ type Stats struct {
 	// attempts that failed and backed off.
 	Redials        uint64
 	RedialAttempts uint64
+	// RedialExhausted counts OffloadNow calls that gave up after
+	// maxRedialWaits backoff waits with the session still dead (the typed
+	// ErrRedialExhausted return) — distinct from slow-but-successful heals,
+	// which only accumulate RedialWaitTime.
+	RedialExhausted uint64
 	// ResumeGap accumulates log entries found durable at the server
 	// (FetchHead) on redial whose acks died with the old session — work
 	// the reconcile step did NOT re-ship. A mid-batch disconnect between
@@ -276,6 +281,12 @@ const NoSeq = ^uint64(0)
 // Errors returned by RSSD operations.
 var (
 	ErrNoRemote = errors.New("core: no remote client attached")
+	// ErrRedialExhausted reports that OffloadNow waited out maxRedialWaits
+	// scheduled redial backoffs with the session still dead — the dial
+	// factory never produced a live server. Callers distinguish this
+	// ("gave up") from a transient push failure ("healed slowly") with
+	// errors.Is; Stats.RedialExhausted counts occurrences.
+	ErrRedialExhausted = errors.New("core: offload redial budget exhausted with session dead")
 )
 
 // normalize fills the Config defaults shared by New and Reopen.

@@ -234,6 +234,14 @@ func runDedupCohort(s Scale, devices, imagePages, uniquePages int, dedup bool) (
 			return co, nil, nil, nil, fmt.Errorf("device %d setup: %w", i+1, err)
 		}
 	}
+	// Leak check around the restore storm: the outstanding-buffer gauge
+	// may move only by the pooled pages the surviving NAND arrays hold
+	// for restored flash content.
+	poolBase := bufpool.Outstanding()
+	var resBase int64
+	for _, d := range devs {
+		resBase += d.nand.HeldPageBufs()
+	}
 	for i := 0; i < devices; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -246,6 +254,14 @@ func runDedupCohort(s Scale, devices, imagePages, uniquePages int, dedup bool) (
 		if err != nil {
 			return co, nil, nil, nil, fmt.Errorf("device %d restore: %w", i+1, err)
 		}
+	}
+	var resNow int64
+	for _, d := range devs {
+		resNow += d.nand.HeldPageBufs()
+	}
+	if drift := bufpool.Outstanding().Sub(poolBase).Total() - (resNow - resBase); drift != 0 {
+		return co, nil, nil, nil, fmt.Errorf(
+			"bufpool outstanding-buffer gauge drifted %+d beyond NAND residency across the restore cohort", drift)
 	}
 
 	var totalRTO, maxRTO simclock.Duration

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/batch"
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/host"
@@ -168,6 +169,21 @@ func FleetRecovery(s Scale, devices int, dedup bool, nicCfg netsim.Config) (*Rec
 	// Phase B/C — power-cycle all N, then reopen + concurrent streamed
 	// restore + verify + outage drain. The barrier above means every
 	// device starts recovering at once: this is the fleet-wide incident.
+	// The outstanding-buffer gauge brackets the whole incident: it may
+	// move only by the pooled pages the surviving NAND arrays hold.
+	poolBase := bufpool.Outstanding()
+	var residencyBase int64
+	for _, d := range devs {
+		residencyBase += d.nand.HeldPageBufs()
+	}
+	// Restore-start barrier: no device streams until every device's first
+	// restore session is dialed, so the link's peak-sessions gauge reads
+	// the fleet size structurally — not by scheduling luck on a loaded
+	// host. The deferred once keeps a pre-dial failure from wedging the
+	// survivors at the barrier.
+	var restoreGate sync.WaitGroup
+	restoreGate.Add(devices)
+	gateOnce := make([]sync.Once, devices)
 	for i := 0; i < devices; i++ {
 		// The reopened device's offload drain rides the same shared NIC the
 		// restore streams do — that cross-class traffic is what the QoS
@@ -176,7 +192,11 @@ func FleetRecovery(s Scale, devices int, dedup bool, nicCfg netsim.Config) (*Rec
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = runRecoveryRestore(srv, link, devs[i], uint64(i+1), i == chokeIdx, dedup)
+			defer gateOnce[i].Do(restoreGate.Done)
+			errs[i] = runRecoveryRestore(srv, link, devs[i], uint64(i+1), i == chokeIdx, dedup, func() {
+				gateOnce[i].Do(restoreGate.Done)
+				restoreGate.Wait()
+			})
 		}(i)
 	}
 	wg.Wait()
@@ -184,6 +204,14 @@ func FleetRecovery(s Scale, devices int, dedup bool, nicCfg netsim.Config) (*Rec
 		if errs[i] != nil {
 			return nil, fmt.Errorf("device %d recovery: %w", i+1, errs[i])
 		}
+	}
+	var residencyNow int64
+	for _, d := range devs {
+		residencyNow += d.nand.HeldPageBufs()
+	}
+	if drift := bufpool.Outstanding().Sub(poolBase).Total() - (residencyNow - residencyBase); drift != 0 {
+		return nil, fmt.Errorf(
+			"bufpool outstanding-buffer gauge drifted %+d beyond NAND residency across the fleet recovery", drift)
 	}
 
 	// Every device's remote evidence chain must still verify end to end
@@ -365,10 +393,10 @@ func runRecoverySetup(s Scale, srv *remote.Server, engine *detect.Engine, device
 // flash, stream-restore the pre-attack image (resuming through a cut link
 // when choked), verify page-identical, then drain the restore backlog
 // across a simulated offload outage via the redial path.
-func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recoveredDevice, deviceID uint64, choke, dedup bool) error {
+func runRecoveryRestore(srv *remote.Server, link *remote.RecoveryLink, d *recoveredDevice, deviceID uint64, choke, dedup bool, gate func()) error {
 	rd, err := restoreRun{
 		Server: srv, Link: link, ChunkPages: 16,
-		Dedup: dedup, Delta: dedup, Choke: choke,
+		Dedup: dedup, Delta: dedup, Choke: choke, Gate: gate,
 	}.run(d.cfg, d.nand, deviceID, d.cut, d.want, d.endAt)
 	if err != nil {
 		return err

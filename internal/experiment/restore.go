@@ -21,6 +21,10 @@ import (
 // one place.
 type restoreRun struct {
 	Server *remote.Server
+	// Dial overrides the session factory. Nil dials the Server loopback;
+	// the chaos soak dials through its cluster instead, so restore
+	// sessions pass the fault injector's WrapConn like any other.
+	Dial func() (*remote.Client, error)
 	// Link is the restore-class charge point on the NIC arbiter (private
 	// or shared — the caller decides by how it builds the link).
 	Link *remote.RecoveryLink
@@ -32,6 +36,12 @@ type restoreRun struct {
 	// Choke kills the first recovery session mid-stream so the restorer
 	// must resume (not restart) on a fresh session.
 	Choke bool
+	// Gate, when set, is called once after this device's first restore
+	// session dials — inside the RestoreImage link-session bracket. A
+	// fleet experiment passes a barrier here so every device is provably
+	// mid-restore at once (the link's peak-sessions gauge reads the fleet
+	// size by construction, not by scheduling luck).
+	Gate func()
 }
 
 // restoredDevice is what a run hands back. The caller owns dev and client
@@ -50,7 +60,10 @@ type restoredDevice struct {
 func (rr restoreRun) run(cfg core.Config, nd *nand.Device, deviceID, cut uint64,
 	want map[uint64][]byte, endAt simclock.Time) (*restoredDevice, error) {
 	srv := rr.Server
-	dial := func() (*remote.Client, error) { return remote.Loopback(srv, PSK, deviceID) }
+	dial := rr.Dial
+	if dial == nil {
+		dial = func() (*remote.Client, error) { return remote.Loopback(srv, PSK, deviceID) }
+	}
 	cfg.Dial = dial // the reopened device redials dead offload sessions itself
 
 	client, err := dial()
@@ -83,6 +96,19 @@ func (rr restoreRun) run(cfg core.Config, nd *nand.Device, deviceID, cut uint64,
 				return remote.Dial(remote.NewChokeConn(dc, 5), PSK, deviceID)
 			}
 			return dial()
+		}
+	}
+
+	if gate := rr.Gate; gate != nil {
+		inner := restoreDial
+		fired := false
+		restoreDial = func() (*remote.Client, error) {
+			c, err := inner()
+			if err == nil && !fired {
+				fired = true
+				gate()
+			}
+			return c, err
 		}
 	}
 

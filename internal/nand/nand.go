@@ -186,6 +186,7 @@ type Device struct {
 
 	mu       sync.Mutex
 	pages    []*bufpool.Buf // nil = erased/unwritten; pooled page copies
+	held     int64          // programmed pages currently holding a pooled buffer
 	oobs     []OOB
 	blocks   []blockState
 	chipBusy []simclock.Time // host/GC datapath next-free per chip
@@ -353,6 +354,7 @@ func (d *Device) programLocked(ppn uint64, data []byte, oob OOB, at simclock.Tim
 	buf := bufpool.Get(len(data))
 	buf.B = append(buf.B, data...)
 	d.pages[ppn] = buf
+	d.held++
 	d.oobs[ppn] = oob
 	bs.programmed++
 	d.stats.Programs++
@@ -383,8 +385,11 @@ func (d *Device) Erase(block uint64, at simclock.Time) (done simclock.Time, err 
 		// Every read hands out a copy, so no borrowed view can outlive the
 		// page; releasing the storage back to the pool here is what makes
 		// the program path allocation-free in steady state.
-		d.pages[base+uint64(i)].Release()
-		d.pages[base+uint64(i)] = nil
+		if d.pages[base+uint64(i)] != nil {
+			d.pages[base+uint64(i)].Release()
+			d.pages[base+uint64(i)] = nil
+			d.held--
+		}
 		d.oobs[base+uint64(i)] = OOB{}
 	}
 	bs.programmed = 0
@@ -409,6 +414,16 @@ func (d *Device) ReadOOB(ppn uint64) (OOB, bool) {
 		return OOB{}, false
 	}
 	return d.oobs[ppn], true
+}
+
+// HeldPageBufs returns how many pooled page buffers the array currently
+// holds for programmed flash content. Leak checks against the bufpool
+// outstanding-buffer gauge subtract this residency: live flash data is
+// supposed to hold its buffers, and only growth beyond it is a leak.
+func (d *Device) HeldPageBufs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.held
 }
 
 // EraseCount returns a block's wear counter.

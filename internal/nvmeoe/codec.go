@@ -136,8 +136,15 @@ func AppendDecodeSegmentBlob(dst, blob []byte) ([]byte, error) {
 		}
 		return append(dst, body...), nil
 	case CodecDeflate:
+		// A flipped bit in the header can claim any 32-bit logical size; no
+		// honest encoder exceeds the frame bound, so reject before decoding
+		// and cap the inflate at the claimed size — corruption can neither
+		// trigger a giant allocation nor balloon output past its own claim.
+		if rawLen > MaxPayload {
+			return nil, fmt.Errorf("%w: claimed logical size %d exceeds %d", ErrBadBlob, rawLen, MaxPayload)
+		}
 		base := len(dst)
-		out, err := AppendInflate(dst, body)
+		out, err := AppendInflateLimited(dst, body, int(rawLen))
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadBlob, err)
 		}
@@ -157,7 +164,14 @@ func SegmentBlobLogicalSize(blob []byte) int {
 	if !IsSegmentBlob(blob) {
 		return len(blob)
 	}
-	return int(binary.LittleEndian.Uint32(blob[5:]))
+	n := int(binary.LittleEndian.Uint32(blob[5:]))
+	if n > MaxPayload {
+		// No honest encoder claims past the frame bound; decode is going to
+		// reject this blob, so don't let a flipped header bit size a giant
+		// buffer for it.
+		return 0
+	}
+	return n
 }
 
 // IsSegmentBlob reports whether b carries the codec frame header. The
@@ -201,6 +215,16 @@ func Inflate(p []byte) ([]byte, error) {
 func AppendInflate(dst, p []byte) ([]byte, error) {
 	i := bufpool.GetInflater()
 	out, err := i.Append(dst, p)
+	i.Release()
+	return out, err
+}
+
+// AppendInflateLimited is AppendInflate bounded to max decoded bytes: a
+// stream that would produce more fails instead of ballooning memory — the
+// decode guard for wire blobs whose header declares their logical size.
+func AppendInflateLimited(dst, p []byte, max int) ([]byte, error) {
+	i := bufpool.GetInflater()
+	out, err := i.AppendLimited(dst, p, max)
 	i.Release()
 	return out, err
 }

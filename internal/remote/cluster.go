@@ -52,6 +52,10 @@ type ClusterConfig struct {
 	// SkewMinPeak: ignore peaks below this absolute depth (0: 8) so an
 	// idle fleet never rebalances on noise.
 	SkewMinPeak int
+	// SkewMinBytes: RebalanceOnIngest ignores per-window ingest volumes
+	// below this many wire bytes (0: 64 KiB) — the live-skew analogue of
+	// SkewMinPeak.
+	SkewMinBytes int
 	// WeightStep: percent of weight removed per rebalance (0: 25).
 	WeightStep int
 	// MinWeight: weight floor a rebalance never cuts below (0: 25).
@@ -75,6 +79,9 @@ func (c *ClusterConfig) normalize() {
 	if c.SkewMinPeak <= 0 {
 		c.SkewMinPeak = 8
 	}
+	if c.SkewMinBytes <= 0 {
+		c.SkewMinBytes = 64 << 10
+	}
 	if c.WeightStep <= 0 {
 		c.WeightStep = 25
 	}
@@ -91,8 +98,10 @@ type ClusterStats struct {
 	Dials        uint64
 	DialsRefused uint64
 	// Kills and DevicesFailedOver count injected/observed server deaths
-	// and the devices they remapped.
+	// and the devices they remapped; Revives counts dead servers brought
+	// back into the ring.
 	Kills             int
+	Revives           int
 	DevicesFailedOver int
 	// Rebalances counts weight cuts; DevicesRebalanced the devices they
 	// moved off hot servers.
@@ -305,34 +314,55 @@ func (c *Cluster) Kill(id int) ([]Move, error) {
 	return moves, nil
 }
 
-// RebalanceTick samples each live server's decode-queue peak since the
-// last tick and applies one weight cut when a server has been hot —
-// peak above SkewFactor× the median of its peers — for SkewTicks
-// consecutive ticks. Devices whose arcs the cut moved are re-placed and
-// their sessions closed so they redial to the new owners. Returns the
-// moves (nil on a quiet tick).
-func (c *Cluster) RebalanceTick() []Move {
+// Revive brings a killed server back: its ring arcs return at the weight
+// it last held and dials may place devices on it again. Server.Close is a
+// drain, not a shutdown latch, so the same Server object serves new
+// sessions as soon as the ring names it. Devices currently placed
+// elsewhere stay put (placement is sticky); load flows back through new
+// placements and skew rebalancing.
+func (c *Cluster) Revive(id int) error {
 	c.mu.Lock()
-	type sample struct {
-		node *clusterNode
-		peak int
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("remote: no server %d", id)
 	}
-	var live []sample
-	for _, n := range c.nodes {
-		if n.alive {
-			live = append(live, sample{n, n.srv.TakeQueuePeak()})
-		}
+	node := c.nodes[id]
+	if node.alive {
+		return fmt.Errorf("remote: server %d already alive", id)
 	}
+	node.alive = true
+	node.hotTicks = 0
+	// Discard load accumulated before death so the first post-revive skew
+	// window reflects only fresh traffic.
+	node.srv.TakeQueuePeak()
+	node.srv.TakeIngestWindow()
+	c.ring.AddNode(id, node.weight)
+	c.stats.Revives++
+	return nil
+}
+
+// skewSample is one live server's load signal for a rebalance pass.
+type skewSample struct {
+	node   *clusterNode
+	signal int
+}
+
+// cutHottestLocked applies the shared skew policy to one set of samples: a
+// server is hot when its signal is at least SkewFactor× the median of its
+// peers (and above minSignal); after SkewTicks consecutive hot passes its
+// ring weight takes one WeightStep cut and its moved devices re-place.
+// Caller holds c.mu and must CloseDevice the returned moves outside the
+// lock.
+func (c *Cluster) cutHottestLocked(live []skewSample, minSignal int) (*clusterNode, []Move) {
 	if len(live) < 2 {
-		c.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 	var hot *clusterNode
 	for i, s := range live {
 		peers := make([]int, 0, len(live)-1)
 		for j, p := range live {
 			if j != i {
-				peers = append(peers, p.peak)
+				peers = append(peers, p.signal)
 			}
 		}
 		sort.Ints(peers)
@@ -340,7 +370,7 @@ func (c *Cluster) RebalanceTick() []Move {
 		if median < 1 {
 			median = 1
 		}
-		if s.peak >= c.cfg.SkewMinPeak && float64(s.peak) >= c.cfg.SkewFactor*float64(median) {
+		if s.signal >= minSignal && float64(s.signal) >= c.cfg.SkewFactor*float64(median) {
 			s.node.hotTicks++
 			if hot == nil && s.node.hotTicks >= c.cfg.SkewTicks && s.node.weight > c.cfg.MinWeight {
 				hot = s.node
@@ -350,8 +380,7 @@ func (c *Cluster) RebalanceTick() []Move {
 		}
 	}
 	if hot == nil {
-		c.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 	w := hot.weight * (100 - c.cfg.WeightStep) / 100
 	if w < c.cfg.MinWeight {
@@ -368,11 +397,58 @@ func (c *Cluster) RebalanceTick() []Move {
 			c.OnMove(m.Device, m.From, m.To)
 		}
 	}
+	return hot, moves
+}
+
+// RebalanceTick samples each live server's decode-queue peak since the
+// last tick and applies one weight cut when a server has been hot —
+// peak above SkewFactor× the median of its peers — for SkewTicks
+// consecutive ticks. Devices whose arcs the cut moved are re-placed and
+// their sessions closed so they redial to the new owners. Returns the
+// moves (nil on a quiet tick).
+func (c *Cluster) RebalanceTick() []Move {
+	c.mu.Lock()
+	var live []skewSample
+	for _, n := range c.nodes {
+		if n.alive {
+			live = append(live, skewSample{n, n.srv.TakeQueuePeak()})
+		}
+	}
+	hot, moves := c.cutHottestLocked(live, c.cfg.SkewMinPeak)
 	c.mu.Unlock()
 
 	// Evict the moved devices' live sessions (outside the lock: the drain
 	// routes their in-flight segments through Owner). They redial to the
 	// new owners; the shared store keeps their chains seamless.
+	for _, m := range moves {
+		hot.srv.CloseDevice(m.Device)
+	}
+	return moves
+}
+
+// RebalanceOnIngest is RebalanceTick driven by the live ingest-skew window
+// instead of decode-queue peaks: each live server's wire bytes accepted
+// since the last call is the signal, so a server persistently receiving
+// SkewFactor× its peers' traffic sheds weight even when its decode lane
+// keeps up (queue peaks measure falling behind; this measures load as
+// placed). The soak drives its rebalancing through this, sampling real
+// observed traffic rather than a synthetic tick.
+func (c *Cluster) RebalanceOnIngest() []Move {
+	c.mu.Lock()
+	var live []skewSample
+	for _, n := range c.nodes {
+		if n.alive {
+			_, bytes := n.srv.TakeIngestWindow()
+			sig := int(bytes)
+			if sig < 0 {
+				sig = 1<<63 - 1 // uint64 overflowed int: saturate, still "hot"
+			}
+			live = append(live, skewSample{n, sig})
+		}
+	}
+	hot, moves := c.cutHottestLocked(live, c.cfg.SkewMinBytes)
+	c.mu.Unlock()
+
 	for _, m := range moves {
 		hot.srv.CloseDevice(m.Device)
 	}

@@ -19,6 +19,7 @@ type ChokeConn struct {
 	net.Conn
 	mu     sync.Mutex
 	budget int
+	dead   bool
 }
 
 // NewChokeConn wraps nc with a read budget.
@@ -29,6 +30,15 @@ func NewChokeConn(nc net.Conn, budget int) *ChokeConn {
 func (c *ChokeConn) Read(p []byte) (int, error) {
 	c.mu.Lock()
 	if c.budget <= 0 {
+		// A real dead link fails both directions. Closing the underlying
+		// conn on first exhaustion makes the peer's pending writes error
+		// instead of blocking forever — under synchronous net.Pipe, a
+		// read-only failure would leave the far side wedged mid-write
+		// (its ack) and this side wedged writing the next request.
+		if !c.dead {
+			c.dead = true
+			c.Conn.Close()
+		}
 		c.mu.Unlock()
 		return 0, ErrLinkChoked
 	}

@@ -325,6 +325,10 @@ func (ss *session) ingestSegment(body []byte) {
 		ss.led.st.BytesLogical += uint64(logical)
 	}
 	ss.led.mu.Unlock()
+	if err == nil {
+		ss.srv.winSegments.Add(1)
+		ss.srv.winBytes.Add(uint64(len(body)))
+	}
 
 	if err != nil {
 		// Match the inline path's contract: report and keep the session;

@@ -58,6 +58,14 @@ type Server struct {
 	queueDepth atomic.Int64
 	queuePeak  atomic.Int64
 	windowPeak atomic.Int64
+
+	// Ingest-skew window: segments and wire bytes accepted since the last
+	// TakeIngestWindow. Where the queue-peak window measures how far behind
+	// a server's decode lane got, this measures how much load actually
+	// landed — the live skew signal a soak-driven rebalancer compares
+	// across servers (Cluster.RebalanceOnIngest).
+	winSegments atomic.Uint64
+	winBytes    atomic.Uint64
 }
 
 // RecoveryStats ledgers what the server served one device during restore:
@@ -281,6 +289,13 @@ func (s *Server) TakeQueuePeak() int {
 	return int(p)
 }
 
+// TakeIngestWindow returns the segments and wire bytes this server accepted
+// since the previous call and resets the window — the live ingest-skew
+// signal RebalanceOnIngest samples per server.
+func (s *Server) TakeIngestWindow() (segments, bytes uint64) {
+	return s.winSegments.Swap(0), s.winBytes.Swap(0)
+}
+
 // HandleConn authenticates one device connection and serves its requests
 // until it disconnects. Exported so tests and in-process wiring can drive
 // a single net.Pipe end without a listener.
@@ -496,6 +511,11 @@ func (s *Server) serveImageStream(ss *session, req nvmeoe.FetchReq) error {
 				msg = nvmeoe.MsgFetchChunk
 			}
 			err := ss.writeMsg(msg, blob)
+			// Account before releasing: SegmentBlobLogicalSize reads the
+			// blob bytes, and a released buffer may already be another
+			// stream's encode target.
+			logical := nvmeoe.SegmentBlobLogicalSize(blob)
+			wire := len(blob)
 			if raw != nil {
 				raw.Release()
 			}
@@ -511,8 +531,8 @@ func (s *Server) serveImageStream(ss *session, req nvmeoe.FetchReq) error {
 			end.NextLPN = next
 			delta.Chunks++
 			delta.Pages += uint64(len(pages))
-			delta.BytesWire += uint64(len(blob))
-			delta.BytesLogical += uint64(nvmeoe.SegmentBlobLogicalSize(blob))
+			delta.BytesWire += uint64(wire)
+			delta.BytesLogical += uint64(logical)
 		}
 		if !more || len(pages) == 0 {
 			break
